@@ -1,0 +1,58 @@
+// Taillatency reproduces the paper's headline result on one application:
+// the three configurations' sojourn latencies (Figures 9 and 10). KSM's
+// software scanning steals core time and pollutes the shared cache, while
+// PageForge does the same work in the memory controller for a few percent
+// of overhead.
+//
+//	go run ./examples/taillatency [app]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	pageforgesim "repro"
+)
+
+func main() {
+	name := "silo"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	p := pageforgesim.ProfileByName(name)
+	if p == nil {
+		log.Fatalf("unknown application %q (try img_dnn, masstree, moses, silo, sphinx)", name)
+	}
+	app := *p
+	app.PagesPerVM = 600 // scaled for a quick demo
+
+	cfg := pageforgesim.DefaultConfig()
+	cfg.ConvergePasses = 12
+	cfg.MeasureIntervals = 16
+
+	fmt.Printf("%s: %d VMs, %.0f QPS each, mean service %.2fms, utilization %.2f\n\n",
+		app.Name, cfg.VMs, app.QPS, app.MeanServiceCycles/2e6, app.Utilization())
+
+	results := map[pageforgesim.Mode]*pageforgesim.Result{}
+	for _, mode := range []pageforgesim.Mode{pageforgesim.Baseline, pageforgesim.KSM, pageforgesim.PageForge} {
+		r, err := pageforgesim.Run(mode, app, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[mode] = r
+		fmt.Printf("%-10s savings=%4.1f%%  L3 miss=%4.1f%%  core-steal/interval=%6.0f cycles  dedup BW=%.2f GB/s\n",
+			mode, r.Footprint.Savings()*100, r.L3MissRate*100, r.BurstMean, r.SteadyDedupGBps)
+	}
+
+	base := results[pageforgesim.Baseline]
+	lb := pageforgesim.Latency(app, base, base, cfg, 1200, 3)
+	fmt.Printf("\n%-10s %15s %15s\n", "config", "mean sojourn", "95th percentile")
+	fmt.Printf("%-10s %12.2fms %12.2fms\n", "Baseline", lb.Mean/2e6, lb.P95/2e6)
+	for _, mode := range []pageforgesim.Mode{pageforgesim.KSM, pageforgesim.PageForge} {
+		l := pageforgesim.Latency(app, base, results[mode], cfg, 1200, 3)
+		fmt.Printf("%-10s %12.2fms %12.2fms   (%.2fx / %.2fx of Baseline)\n",
+			mode, l.Mean/2e6, l.P95/2e6, l.Mean/lb.Mean, l.P95/lb.P95)
+	}
+	fmt.Println("\npaper averages: KSM 1.68x mean / 2.36x tail; PageForge 1.10x / 1.11x")
+}

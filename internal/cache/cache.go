@@ -1,0 +1,199 @@
+// Package cache models the on-chip memory hierarchy of Table 2: per-core
+// write-back L1 and L2 caches, a shared inclusive L3 with MESI coherence
+// (directory state kept at the L3, behaviourally equivalent to the paper's
+// snoopy MESI at L3), and per-source statistics.
+//
+// The cache model serves two purposes in the reproduction: it produces the
+// L3 miss rates of Table 4 (KSM's streaming comparisons pollute the shared
+// L3), and it answers PageForge's "issue the request to the on-chip network
+// first" probes (Section 3.2.2) — a scanned line that is cached must be
+// supplied by the network, not the DRAM.
+package cache
+
+import "fmt"
+
+// MESI is the coherence state of a cached line.
+type MESI uint8
+
+// Coherence states.
+const (
+	Invalid MESI = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String renders the state.
+func (s MESI) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// LineSize is the cache-line size in bytes (Table 2: 64B everywhere).
+const LineSize = 64
+
+// Config describes one cache array.
+type Config struct {
+	SizeBytes int
+	Ways      int
+}
+
+// Sets reports the number of sets (rounded down for non-power-of-two
+// organizations such as the 32MB 20-way L3).
+func (c Config) Sets() int {
+	s := c.SizeBytes / (LineSize * c.Ways)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+type line struct {
+	tag   uint64
+	state MESI
+	dirty bool
+	lru   uint64
+	// sharers is used only by the (inclusive) L3: a bitmap of cores whose
+	// private caches may hold the line, plus whether one holds it dirty.
+	sharers uint16
+	privM   bool
+}
+
+// Cache is one set-associative write-back cache array.
+type Cache struct {
+	cfg  Config
+	sets [][]line
+	tick uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds an empty cache.
+func NewCache(cfg Config) *Cache {
+	if cfg.Ways < 1 || cfg.SizeBytes < LineSize*cfg.Ways {
+		panic(fmt.Sprintf("cache: bad config %+v", cfg))
+	}
+	sets := make([][]line, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}
+}
+
+// Sets reports the set count.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+func (c *Cache) set(addr uint64) []line {
+	return c.sets[(addr/LineSize)%uint64(len(c.sets))]
+}
+
+func lineTag(addr uint64) uint64 { return addr / LineSize }
+
+// find returns the way holding the line, or nil.
+func (c *Cache) find(addr uint64) *line {
+	tag := lineTag(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup reports whether the line is present, updating hit/miss counters
+// and LRU on hit.
+func (c *Cache) Lookup(addr uint64) *line {
+	l := c.find(addr)
+	if l != nil {
+		c.tick++
+		l.lru = c.tick
+		c.Hits++
+		return l
+	}
+	c.Misses++
+	return nil
+}
+
+// Peek is Lookup without statistics or LRU side effects (snoops).
+func (c *Cache) Peek(addr uint64) *line { return c.find(addr) }
+
+// Eviction describes a line displaced by Insert.
+type Eviction struct {
+	Addr    uint64
+	Dirty   bool
+	Sharers uint16
+	Valid   bool
+}
+
+// Insert allocates the line in the given state, returning any eviction.
+// The caller handles write-back of dirty victims and (for the inclusive
+// L3) back-invalidation of the victim's private copies.
+func (c *Cache) Insert(addr uint64, state MESI) Eviction {
+	set := c.set(addr)
+	victim := &set[0]
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	var ev Eviction
+	if victim.state != Invalid {
+		ev = Eviction{Addr: victim.tag * LineSize, Dirty: victim.dirty, Sharers: victim.sharers, Valid: true}
+	}
+	c.tick++
+	*victim = line{tag: lineTag(addr), state: state, lru: c.tick}
+	return ev
+}
+
+// Invalidate drops the line if present, reporting (present, wasDirty).
+func (c *Cache) Invalidate(addr uint64) (bool, bool) {
+	l := c.find(addr)
+	if l == nil {
+		return false, false
+	}
+	dirty := l.dirty
+	*l = line{}
+	return true, dirty
+}
+
+// Occupancy reports the fraction of ways holding valid lines; tests use it.
+func (c *Cache) Occupancy() float64 {
+	total, valid := 0, 0
+	for _, set := range c.sets {
+		for i := range set {
+			total++
+			if set[i].state != Invalid {
+				valid++
+			}
+		}
+	}
+	return float64(valid) / float64(total)
+}
+
+// MissRate reports misses / (hits+misses), 0 when idle.
+func (c *Cache) MissRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}
+
+// ResetStats zeroes the hit/miss counters (warm-up handling).
+func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }

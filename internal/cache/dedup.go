@@ -1,0 +1,183 @@
+package cache
+
+import "repro/internal/hash"
+
+// DedupCache models last-level-cache deduplication (Tian et al., ICS 2014),
+// the paper's §7.1: identical cache *lines* share one data entry in the
+// LLC, stretching its effective capacity. The paper notes this is
+// orthogonal to PageForge — it deduplicates the cache, not main memory —
+// and can be used alongside it.
+//
+// The model separates the tag store (more entries than a conventional
+// cache of the same data size) from the data store (content-deduplicated,
+// refcounted). A fill hashes the line's contents: a hit on an existing
+// identical data block shares it; otherwise a data block is allocated,
+// evicting (only) blocks whose last tag has gone.
+type DedupCache struct {
+	// tag store: line address -> data block id. Eviction is FIFO (a
+	// deterministic stand-in for the pseudo-LRU real LLCs use).
+	tags     map[uint64]*dedupTag
+	fifo     []uint64
+	tagOrder uint64
+	maxTags  int
+
+	// data store: content-deduplicated blocks.
+	blocks    map[uint64]*dedupBlock // block id -> block
+	byContent map[uint64]uint64      // content hash -> block id
+	nextBlock uint64
+	maxBlocks int
+
+	Hits        uint64
+	Misses      uint64
+	DedupShared uint64 // fills that shared an existing data block
+	TagEvicts   uint64
+	DataEvicts  uint64
+}
+
+type dedupTag struct {
+	block uint64
+	lru   uint64
+}
+
+type dedupBlock struct {
+	hash uint64
+	refs int
+	data []byte // retained to confirm matches (hash collisions must not merge)
+}
+
+// NewDedupCache builds a deduplicating LLC with the given tag and data
+// store sizes (in lines). Tian et al.'s design provisions more tags than
+// data blocks (e.g., 2x) so dedup can translate into extra capacity.
+func NewDedupCache(maxTags, maxBlocks int) *DedupCache {
+	if maxTags < 1 || maxBlocks < 1 || maxTags < maxBlocks {
+		panic("cache: dedup cache needs maxTags >= maxBlocks >= 1")
+	}
+	return &DedupCache{
+		tags:      make(map[uint64]*dedupTag),
+		blocks:    make(map[uint64]*dedupBlock),
+		byContent: make(map[uint64]uint64),
+		maxTags:   maxTags,
+		maxBlocks: maxBlocks,
+	}
+}
+
+func lineHash(content []byte) uint64 {
+	lo := hash.JHash2Bytes(content, 0x5bd1e995)
+	hi := hash.JHash2Bytes(content, 0xc2b2ae35)
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// Access performs a lookup-and-fill for the line at addr with the given
+// contents, returning whether it hit. The caller provides contents on every
+// access (the simulator's backing store always has them); they are only
+// inspected on fills.
+func (c *DedupCache) Access(addr uint64, content []byte) bool {
+	addr &^= uint64(LineSize - 1)
+	c.tagOrder++
+	if t, ok := c.tags[addr]; ok {
+		t.lru = c.tagOrder
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	c.fill(addr, content)
+	return false
+}
+
+func (c *DedupCache) fill(addr uint64, content []byte) {
+	// Tag eviction first.
+	for len(c.tags) >= c.maxTags {
+		c.evictOldestTag()
+	}
+	h := lineHash(content)
+	if id, ok := c.byContent[h]; ok {
+		b := c.blocks[id]
+		if bytesEqual(b.data, content) {
+			b.refs++
+			c.tags[addr] = &dedupTag{block: id, lru: c.tagOrder}
+			c.fifo = append(c.fifo, addr)
+			c.DedupShared++
+			return
+		}
+		// Hash collision with different contents: fall through and
+		// allocate a private block outside the content index.
+	}
+	for len(c.blocks) >= c.maxBlocks {
+		if !c.evictOldestTag() {
+			break
+		}
+	}
+	id := c.nextBlock
+	c.nextBlock++
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	c.blocks[id] = &dedupBlock{hash: h, refs: 1, data: cp}
+	if _, taken := c.byContent[h]; !taken {
+		c.byContent[h] = id
+	}
+	c.tags[addr] = &dedupTag{block: id, lru: c.tagOrder}
+	c.fifo = append(c.fifo, addr)
+}
+
+// evictOldestTag removes the oldest resident tag (FIFO), dropping its data
+// block when the last reference goes. It reports whether anything was
+// evicted.
+func (c *DedupCache) evictOldestTag() bool {
+	for len(c.fifo) > 0 {
+		victim := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		vt, ok := c.tags[victim]
+		if !ok {
+			continue // stale queue entry
+		}
+		delete(c.tags, victim)
+		c.TagEvicts++
+		b := c.blocks[vt.block]
+		b.refs--
+		if b.refs == 0 {
+			if id, ok := c.byContent[b.hash]; ok && id == vt.block {
+				delete(c.byContent, b.hash)
+			}
+			delete(c.blocks, vt.block)
+			c.DataEvicts++
+		}
+		return true
+	}
+	return false
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ResidentTags reports how many line addresses are cached.
+func (c *DedupCache) ResidentTags() int { return len(c.tags) }
+
+// ResidentBlocks reports how many distinct data blocks back them.
+func (c *DedupCache) ResidentBlocks() int { return len(c.blocks) }
+
+// EffectiveCapacityFactor is the headline metric: cached lines per data
+// block (1.0 means no dedup benefit).
+func (c *DedupCache) EffectiveCapacityFactor() float64 {
+	if len(c.blocks) == 0 {
+		return 1
+	}
+	return float64(len(c.tags)) / float64(len(c.blocks))
+}
+
+// MissRate reports misses/(hits+misses).
+func (c *DedupCache) MissRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}

@@ -1,0 +1,160 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func dline(val byte) []byte {
+	b := make([]byte, LineSize)
+	for i := range b {
+		b[i] = val
+	}
+	return b
+}
+
+func TestDedupSharesIdenticalLines(t *testing.T) {
+	c := NewDedupCache(8, 4)
+	// Four addresses, two distinct contents.
+	c.Access(0, dline(1))
+	c.Access(64, dline(1))
+	c.Access(128, dline(2))
+	c.Access(192, dline(2))
+	if c.ResidentTags() != 4 || c.ResidentBlocks() != 2 {
+		t.Fatalf("tags/blocks = %d/%d, want 4/2", c.ResidentTags(), c.ResidentBlocks())
+	}
+	if c.DedupShared != 2 {
+		t.Fatalf("DedupShared = %d, want 2", c.DedupShared)
+	}
+	if f := c.EffectiveCapacityFactor(); f != 2 {
+		t.Fatalf("capacity factor = %g, want 2", f)
+	}
+	// All four hit now.
+	for _, a := range []uint64{0, 64, 128, 192} {
+		if !c.Access(a, nil) {
+			t.Fatalf("addr %d missed after fill", a)
+		}
+	}
+}
+
+func TestDedupStretchesCapacity(t *testing.T) {
+	// 8 tags over 2 data blocks: 8 addresses of 2 contents all fit, which
+	// a conventional 2-line cache could never do.
+	c := NewDedupCache(8, 2)
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i*64, dline(byte(i%2)))
+	}
+	if c.ResidentTags() != 8 || c.ResidentBlocks() != 2 {
+		t.Fatalf("tags/blocks = %d/%d", c.ResidentTags(), c.ResidentBlocks())
+	}
+	hits := 0
+	for i := uint64(0); i < 8; i++ {
+		if c.Access(i*64, dline(byte(i%2))) {
+			hits++
+		}
+	}
+	if hits != 8 {
+		t.Fatalf("re-access hits = %d, want 8", hits)
+	}
+}
+
+func TestDedupUniqueContentEvicts(t *testing.T) {
+	c := NewDedupCache(4, 2)
+	// Three unique contents through a 2-block store: evictions required.
+	c.Access(0, dline(1))
+	c.Access(64, dline(2))
+	c.Access(128, dline(3))
+	if c.ResidentBlocks() > 2 {
+		t.Fatalf("blocks = %d exceeds store", c.ResidentBlocks())
+	}
+	if c.DataEvicts == 0 {
+		t.Fatal("no data eviction")
+	}
+}
+
+func TestDedupRefcountKeepsSharedBlock(t *testing.T) {
+	c := NewDedupCache(3, 2)
+	c.Access(0, dline(7))
+	c.Access(64, dline(7))
+	c.Access(128, dline(8))
+	// Force a tag eviction (insert a 4th tag): the LRU tag (addr 0) goes,
+	// but its block survives via addr 64's reference.
+	c.Access(192, dline(8))
+	if c.TagEvicts == 0 {
+		t.Fatal("no tag eviction")
+	}
+	if !c.Access(64, dline(7)) {
+		t.Fatal("surviving sharer lost its line")
+	}
+}
+
+func TestDedupHashCollisionDoesNotMergeDifferentContents(t *testing.T) {
+	// Force the collision path by planting a block whose hash we then
+	// reuse with different contents via the internal fill (white-box: we
+	// simulate a collision by inserting two lines and corrupting the
+	// content index).
+	c := NewDedupCache(8, 4)
+	c.Access(0, dline(1))
+	// Graft a colliding index entry: content hash of dline(2) pointing at
+	// dline(1)'s block would be a collision; emulate by rewriting the map.
+	h := lineHash(dline(2))
+	for id := range c.blocks {
+		c.byContent[h] = id
+	}
+	c.Access(64, dline(2))
+	// The fill must have detected the mismatch and allocated privately.
+	if c.DedupShared != 0 {
+		t.Fatal("collision merged different contents")
+	}
+	if c.ResidentBlocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", c.ResidentBlocks())
+	}
+}
+
+func TestDedupOnVMImageTraffic(t *testing.T) {
+	// Line traffic drawn from duplicate-heavy pages (the consolidated-VM
+	// pattern): dedup LLC holds a working set a conventional one cannot.
+	r := sim.NewRNG(5)
+	contents := make([][]byte, 64) // 64 distinct line contents
+	for i := range contents {
+		contents[i] = make([]byte, LineSize)
+		r.FillBytes(contents[i])
+	}
+	// 1024 line addresses, each mapped to one of the 64 contents.
+	assign := make([]int, 1024)
+	for i := range assign {
+		assign[i] = r.Intn(64)
+	}
+	dedup := NewDedupCache(1024, 128)
+	conv := NewDedupCache(128, 128) // tag-limited: behaves conventionally
+	for pass := 0; pass < 3; pass++ {
+		for i, ci := range assign {
+			dedup.Access(uint64(i)*64, contents[ci])
+			conv.Access(uint64(i)*64, contents[ci])
+		}
+	}
+	if dedup.MissRate() >= conv.MissRate() {
+		t.Fatalf("dedup LLC miss %.2f not below conventional %.2f",
+			dedup.MissRate(), conv.MissRate())
+	}
+	if f := dedup.EffectiveCapacityFactor(); f < 4 {
+		t.Fatalf("capacity factor %.1f on 16:1-duplicated traffic", f)
+	}
+}
+
+func TestDedupBadGeometryPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDedupCache(0, 0) },
+		func() { NewDedupCache(2, 4) }, // fewer tags than blocks
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad geometry accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,340 @@
+package diffengine
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// --- Patch format ------------------------------------------------------------
+
+func TestPatchRoundTrip(t *testing.T) {
+	ref := make([]byte, mem.PageSize)
+	page := make([]byte, mem.PageSize)
+	for i := range ref {
+		ref[i] = byte(i)
+		page[i] = byte(i)
+	}
+	// Three scattered edits.
+	copy(page[100:], []byte("edit-one"))
+	copy(page[2000:], []byte("second"))
+	page[4095] = 0xFF
+	p := MakePatch(ref, page, 8)
+	if got := p.Apply(ref); !bytes.Equal(got, page) {
+		t.Fatal("patch did not reconstruct the page")
+	}
+	dec, err := DecodePatch(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Apply(ref); !bytes.Equal(got, page) {
+		t.Fatal("decoded patch did not reconstruct")
+	}
+	if p.Size() > 200 {
+		t.Fatalf("patch size %dB for ~16 edited bytes", p.Size())
+	}
+}
+
+func TestPatchIdenticalPagesIsEmpty(t *testing.T) {
+	ref := bytes.Repeat([]byte{7}, mem.PageSize)
+	p := MakePatch(ref, ref, 8)
+	if p.Runs() != 0 || p.Size() != 2 {
+		t.Fatalf("identical pages: runs=%d size=%d", p.Runs(), p.Size())
+	}
+}
+
+func TestPatchGapCoalescing(t *testing.T) {
+	ref := make([]byte, mem.PageSize)
+	page := make([]byte, mem.PageSize)
+	// Two edits 4 bytes apart: with minGap 8 they coalesce into one run.
+	page[100] = 1
+	page[105] = 1
+	if p := MakePatch(ref, page, 8); p.Runs() != 1 {
+		t.Fatalf("runs = %d, want coalesced 1", p.Runs())
+	}
+	// With minGap 2 they stay separate.
+	if p := MakePatch(ref, page, 2); p.Runs() != 2 {
+		t.Fatalf("runs = %d, want 2", p.Runs())
+	}
+}
+
+func TestPatchQuickRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		ref := make([]byte, mem.PageSize)
+		r.FillBytes(ref)
+		page := append([]byte(nil), ref...)
+		// Random number of random edits.
+		for e := 0; e < r.Intn(20); e++ {
+			off := r.Intn(mem.PageSize - 32)
+			n := 1 + r.Intn(32)
+			chunk := make([]byte, n)
+			r.FillBytes(chunk)
+			copy(page[off:], chunk)
+		}
+		p := MakePatch(ref, page, 1+r.Intn(16))
+		dec, err := DecodePatch(p.Encode())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec.Apply(ref), page)
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePatchRejectsTruncation(t *testing.T) {
+	ref := make([]byte, mem.PageSize)
+	page := append([]byte(nil), ref...)
+	page[10] = 1
+	enc := MakePatch(ref, page, 8).Encode()
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodePatch(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodePatch(nil); err == nil {
+		t.Fatal("empty patch accepted")
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	// Compressible page (repeating content).
+	page := bytes.Repeat([]byte("abcdefgh"), mem.PageSize/8)
+	blob := Compress(page)
+	if len(blob) >= mem.PageSize/4 {
+		t.Fatalf("repetitive page compressed to %dB only", len(blob))
+	}
+	got, err := Decompress(blob, mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("decompress mismatch")
+	}
+}
+
+// --- Manager -----------------------------------------------------------------
+
+// build creates numVMs x pages deployment. Contents come from gen(vm, page)
+// which returns a full page.
+func build(t testing.TB, numVMs, pages int, gen func(v, g int) []byte) *vm.Hypervisor {
+	t.Helper()
+	h := vm.NewHypervisor(uint64(numVMs*pages*2+64) * mem.PageSize)
+	for i := 0; i < numVMs; i++ {
+		v := h.NewVM(uint64(pages) * mem.PageSize)
+		v.Madvise(0, pages, true)
+		for g := 0; g < pages; g++ {
+			if _, err := v.Write(vm.GFN(g), 0, gen(i, g)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return h
+}
+
+func full(val byte) []byte { return bytes.Repeat([]byte{val}, mem.PageSize) }
+
+// variant returns base content with a small per-VM delta (similar pages).
+func variant(base byte, v int) []byte {
+	p := full(base)
+	copy(p[128*v:], []byte{0xF0, byte(v), 0xF0, byte(v)})
+	return p
+}
+
+func TestManagerSharesIdenticalPages(t *testing.T) {
+	h := build(t, 3, 2, func(v, g int) []byte { return full(byte(g + 1)) })
+	m := New(h, DefaultConfig())
+	m.Sweep(nil)
+	if m.Stats.SharedPages != 4 {
+		t.Fatalf("SharedPages = %d, want 4 (2 contents x 2 extra copies)", m.Stats.SharedPages)
+	}
+	if h.Phys.AllocatedFrames() != 2 {
+		t.Fatalf("frames = %d, want 2", h.Phys.AllocatedFrames())
+	}
+}
+
+func TestManagerPatchesSimilarPages(t *testing.T) {
+	// Each VM holds a slightly different variant of the same base page.
+	h := build(t, 4, 1, func(v, g int) []byte { return variant(0x33, v) })
+	m := New(h, DefaultConfig())
+	m.Sweep(nil)
+	if m.Stats.PatchedPages == 0 {
+		t.Fatalf("no pages patched; stats %+v", m.Stats)
+	}
+	s := m.MeasureSavings()
+	if s.Fraction < 0.5 {
+		t.Fatalf("similar-page savings %.2f, want > 0.5 (patches are tiny)", s.Fraction)
+	}
+	// Reconstruction returns the exact variant.
+	for v := 0; v < 4; v++ {
+		page, err := m.Read(vm.PageID{VM: v, GFN: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(page, variant(0x33, v)) {
+			t.Fatalf("vm%d reconstructed wrong contents", v)
+		}
+	}
+}
+
+func TestManagerCompressesColdPages(t *testing.T) {
+	// Unique but highly compressible pages.
+	h := build(t, 2, 3, func(v, g int) []byte {
+		p := bytes.Repeat([]byte{byte(10*v + g)}, mem.PageSize)
+		p[0] = byte(v*16 + g + 1) // unique lead byte
+		return p
+	})
+	m := New(h, DefaultConfig())
+	m.Sweep(func(vm.PageID) bool { return true }) // everything is cold
+	if m.Stats.CompressedPages == 0 {
+		t.Fatalf("nothing compressed; stats %+v", m.Stats)
+	}
+	s := m.MeasureSavings()
+	if s.Fraction < 0.5 {
+		t.Fatalf("compression savings %.2f", s.Fraction)
+	}
+	// Read back one compressed page.
+	id := vm.PageID{VM: 1, GFN: 2}
+	page, err := m.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{12}, mem.PageSize)
+	want[0] = byte(1*16 + 2 + 1)
+	if !bytes.Equal(page, want) {
+		t.Fatal("decompressed page wrong")
+	}
+	if m.Stats.Reconstructions != 1 {
+		t.Fatalf("Reconstructions = %d", m.Stats.Reconstructions)
+	}
+}
+
+func TestReferenceWriteDoesNotCorruptPatches(t *testing.T) {
+	// VM0's page becomes the reference; VM1's is patched against it. A
+	// guest write to the reference must CoW away, leaving the patch base
+	// intact.
+	h := build(t, 2, 1, func(v, g int) []byte { return variant(0x55, v) })
+	m := New(h, DefaultConfig())
+	m.Sweep(nil)
+	if m.Stats.PatchedPages != 1 {
+		t.Fatalf("PatchedPages = %d, want 1", m.Stats.PatchedPages)
+	}
+	// The reference page is whichever is still resident.
+	var refID, patchedID vm.PageID
+	if _, ok := h.VM(0).Resolve(0); ok {
+		refID, patchedID = vm.PageID{VM: 0, GFN: 0}, vm.PageID{VM: 1, GFN: 0}
+	} else {
+		refID, patchedID = vm.PageID{VM: 1, GFN: 0}, vm.PageID{VM: 0, GFN: 0}
+	}
+	refVariant := variant(0x55, refID.VM)
+	patchedVariant := variant(0x55, patchedID.VM)
+
+	// Scribble over the reference through the guest.
+	if err := m.Write(refID, 0, bytes.Repeat([]byte{0xEE}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	// The patched page still reconstructs its original contents.
+	page, err := m.Read(patchedID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(page, patchedVariant) {
+		t.Fatal("reference write corrupted the patched page")
+	}
+	// And the reference guest sees its own write.
+	refPage, err := m.Read(refID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refPage[0] != 0xEE {
+		t.Fatal("reference lost its write")
+	}
+	_ = refVariant
+}
+
+func TestWriteToPatchedPageReconstructsFirst(t *testing.T) {
+	h := build(t, 2, 1, func(v, g int) []byte { return variant(0x21, v) })
+	m := New(h, DefaultConfig())
+	m.Sweep(nil)
+	var patchedID vm.PageID
+	if _, ok := h.VM(0).Resolve(0); ok {
+		patchedID = vm.PageID{VM: 1, GFN: 0}
+	} else {
+		patchedID = vm.PageID{VM: 0, GFN: 0}
+	}
+	if err := m.Write(patchedID, 10, []byte{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	page, err := m.Read(patchedID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := variant(0x21, patchedID.VM)
+	want[10] = 0xAB
+	if !bytes.Equal(page, want) {
+		t.Fatal("write-after-patch lost data")
+	}
+}
+
+func TestPatchRejectsDissimilarPages(t *testing.T) {
+	// Pages sharing signature blocks but massively different elsewhere:
+	// the patch exceeds MaxPatchBytes and must be rejected.
+	r := sim.NewRNG(5)
+	base := make([]byte, mem.PageSize)
+	r.FillBytes(base)
+	h := build(t, 2, 1, func(v, g int) []byte {
+		p := append([]byte(nil), base...)
+		if v == 1 {
+			// Same signature blocks (offsets 0,1024,2048,3072 + 64) but
+			// everything else rewritten.
+			noise := make([]byte, mem.PageSize)
+			r.FillBytes(noise)
+			for i := 0; i < mem.PageSize; i++ {
+				inSig := false
+				for s := 0; s < 4; s++ {
+					if i >= s*1024 && i < s*1024+64 {
+						inSig = true
+					}
+				}
+				if !inSig {
+					p[i] = noise[i]
+				}
+			}
+		}
+		return p
+	})
+	m := New(h, DefaultConfig())
+	m.Sweep(nil)
+	if m.Stats.PatchedPages != 0 {
+		t.Fatal("dissimilar page was patched")
+	}
+	if m.Stats.PatchRejects == 0 {
+		t.Fatal("patch rejection not recorded")
+	}
+}
+
+func TestSavingsAccountingConsistent(t *testing.T) {
+	h := build(t, 4, 2, func(v, g int) []byte {
+		if g == 0 {
+			return full(9) // identical across VMs
+		}
+		return variant(0x44, v) // similar across VMs
+	})
+	m := New(h, DefaultConfig())
+	m.Sweep(nil)
+	s := m.MeasureSavings()
+	if s.GuestPages != 8 {
+		t.Fatalf("GuestPages = %d, want 8", s.GuestPages)
+	}
+	if s.EffectivePages >= float64(s.GuestPages) {
+		t.Fatal("no savings measured")
+	}
+	if s.Fraction <= 0 || s.Fraction >= 1 {
+		t.Fatalf("fraction = %g", s.Fraction)
+	}
+}

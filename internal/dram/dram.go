@@ -1,0 +1,298 @@
+// Package dram models the main memory of Table 2: 16GB over 2 channels,
+// 8 ranks/channel, 8 banks/rank, DDR at 1GHz (2 CPU cycles per memory
+// cycle), with per-bank row buffers and open-page policy. Requests are
+// serviced in arrival order; queueing delay emerges from bank and channel
+// bus occupancy, which is the first-order behaviour an FR-FCFS controller
+// exposes to a small number of outstanding streams.
+//
+// The model also keeps per-source bandwidth accounting in fixed windows,
+// which is what Figure 11 of the paper plots (bandwidth during the most
+// memory-intensive phase of page deduplication).
+package dram
+
+import "fmt"
+
+// Source attributes DRAM traffic for bandwidth accounting.
+type Source int
+
+// Traffic sources.
+const (
+	SrcCore      Source = iota // demand traffic from the cores/caches
+	SrcKSM                     // software page-deduplication traffic
+	SrcPageForge               // PageForge engine traffic
+	numSources
+)
+
+// String renders the source.
+func (s Source) String() string {
+	switch s {
+	case SrcCore:
+		return "core"
+	case SrcKSM:
+		return "ksm"
+	case SrcPageForge:
+		return "pageforge"
+	default:
+		return "?"
+	}
+}
+
+// Config describes the memory system geometry and timing. All timing is in
+// CPU cycles (2 GHz core, 1 GHz DDR memory clock: one memory cycle is two
+// CPU cycles).
+type Config struct {
+	Channels     int
+	RanksPerChan int
+	BanksPerRank int
+	RowBytes     int    // row-buffer size per bank
+	LineBytes    int    // transfer granularity (cache line)
+	TRCD         uint64 // activate-to-read, CPU cycles
+	TRP          uint64 // precharge, CPU cycles
+	TCL          uint64 // CAS latency, CPU cycles
+	TBurst       uint64 // data burst occupancy of the channel bus
+	WindowCycles uint64 // bandwidth accounting window
+	CtrlOverhead uint64 // fixed controller/queue overhead per access
+}
+
+// DefaultConfig is the Table 2 memory system with DDR-1GHz-class timing.
+func DefaultConfig() Config {
+	return Config{
+		Channels:     2,
+		RanksPerChan: 8,
+		BanksPerRank: 8,
+		RowBytes:     8 << 10,
+		LineBytes:    64,
+		TRCD:         28,
+		TRP:          28,
+		TCL:          28,
+		TBurst:       8,
+		WindowCycles: 2_000_000, // 1ms at 2GHz
+		CtrlOverhead: 12,
+	}
+}
+
+type bank struct {
+	openRow  int64 // -1: closed
+	nextFree uint64
+	bgOwned  bool // the pending occupancy belongs to background traffic
+}
+
+type channel struct {
+	busFree uint64
+	bgOwned bool
+}
+
+// Stats summarizes DRAM activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	RowHits    uint64
+	RowMisses  uint64 // row conflict: precharge + activate
+	RowCloseds uint64 // activate on a closed bank
+	BytesBySrc [numSources]uint64
+	// Queueing decomposition, per source: cycles spent waiting for a busy
+	// bank and for the channel data bus.
+	BankWaitBySrc [numSources]uint64
+	BusWaitBySrc  [numSources]uint64
+	AccessBySrc   [numSources]uint64
+}
+
+// DRAM is the memory system model.
+type DRAM struct {
+	cfg   Config
+	banks [][]bank // [channel][rank*banksPerRank]
+	chans []channel
+
+	Stats Stats
+	// windows[src] maps window index -> bytes transferred in that window.
+	windows [numSources]map[uint64]uint64
+}
+
+// New builds an idle memory system.
+func New(cfg Config) *DRAM {
+	if cfg.Channels < 1 || cfg.BanksPerRank < 1 || cfg.RanksPerChan < 1 {
+		panic(fmt.Sprintf("dram: bad config %+v", cfg))
+	}
+	d := &DRAM{cfg: cfg, chans: make([]channel, cfg.Channels)}
+	for c := 0; c < cfg.Channels; c++ {
+		banks := make([]bank, cfg.RanksPerChan*cfg.BanksPerRank)
+		for i := range banks {
+			banks[i].openRow = -1
+		}
+		d.banks = append(d.banks, banks)
+	}
+	for i := range d.windows {
+		d.windows[i] = make(map[uint64]uint64)
+	}
+	return d
+}
+
+// Geometry describes where an address lands.
+type Geometry struct {
+	Channel int
+	Bank    int // rank*banksPerRank + bank, within the channel
+	Row     int64
+}
+
+// Decode maps a physical address to channel/bank/row. Consecutive lines
+// interleave across channels first, then across banks, so streams spread
+// over the whole memory system (the interleaving the paper describes).
+func (d *DRAM) Decode(addr uint64) Geometry {
+	lineN := addr / uint64(d.cfg.LineBytes)
+	ch := int(lineN % uint64(d.cfg.Channels))
+	rest := lineN / uint64(d.cfg.Channels)
+	banksPerChan := uint64(d.cfg.RanksPerChan * d.cfg.BanksPerRank)
+	bankIdx := int(rest % banksPerChan)
+	rowInBank := rest / banksPerChan
+	linesPerRow := uint64(d.cfg.RowBytes / d.cfg.LineBytes)
+	return Geometry{Channel: ch, Bank: bankIdx, Row: int64(rowInBank / linesPerRow)}
+}
+
+// Access services one line-sized request arriving at cycle now and returns
+// its latency in CPU cycles.
+//
+// The controller schedules with demand priority: requests from the cores
+// (and the KSM kthread, which *is* a core thread) preempt queued background
+// traffic from the PageForge engine, waiting only for the non-preemptible
+// residual of an in-flight background access (TCL+TBurst at the bank, one
+// burst on the bus). Background reservations are pushed back rather than
+// canceled. This is what keeps PageForge's aggressive streaming from
+// inflating demand latency (§3.2.2's request buffers + §6.3's ~10%
+// overhead); without priority, the engine's near-continuous line fetches
+// would starve the cores.
+func (d *DRAM) Access(addr uint64, now uint64, write bool, src Source) uint64 {
+	g := d.Decode(addr)
+	bk := &d.banks[g.Channel][g.Bank]
+	chn := &d.chans[g.Channel]
+	demand := src != SrcPageForge
+
+	start := now + d.cfg.CtrlOverhead
+	if bk.nextFree > start {
+		wait := bk.nextFree - start
+		if demand && bk.bgOwned {
+			if res := d.cfg.TCL + d.cfg.TBurst; wait > res {
+				wait = res
+			}
+		}
+		d.Stats.BankWaitBySrc[src] += wait
+		start += wait
+	}
+	d.Stats.AccessBySrc[src]++
+
+	var access uint64
+	switch {
+	case bk.openRow == g.Row:
+		d.Stats.RowHits++
+		access = d.cfg.TCL
+	case bk.openRow == -1:
+		d.Stats.RowCloseds++
+		access = d.cfg.TRCD + d.cfg.TCL
+	default:
+		d.Stats.RowMisses++
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCL
+	}
+	bk.openRow = g.Row
+
+	dataReady := start + access
+	// The channel bus must be free for the burst.
+	if chn.busFree > dataReady {
+		wait := chn.busFree - dataReady
+		if demand && chn.bgOwned && wait > d.cfg.TBurst {
+			wait = d.cfg.TBurst
+		}
+		d.Stats.BusWaitBySrc[src] += wait
+		dataReady += wait
+	}
+	done := dataReady + d.cfg.TBurst
+	// Preempted background reservations are pushed back, not canceled; the
+	// tail of the reservation then still belongs to background traffic, so
+	// ownership only changes when this access extends the reservation.
+	if done > chn.busFree {
+		chn.busFree = done
+		chn.bgOwned = !demand
+	} else {
+		chn.busFree += d.cfg.TBurst
+	}
+	if done > bk.nextFree {
+		bk.nextFree = done
+		bk.bgOwned = !demand
+	} else {
+		bk.nextFree += d.cfg.TCL
+	}
+
+	if write {
+		d.Stats.Writes++
+	} else {
+		d.Stats.Reads++
+	}
+	bytes := uint64(d.cfg.LineBytes)
+	d.Stats.BytesBySrc[src] += bytes
+	d.windows[src][now/d.cfg.WindowCycles] += bytes
+
+	return done - now
+}
+
+// WindowBandwidth reports the bytes transferred by a source during the
+// given window index.
+func (d *DRAM) WindowBandwidth(src Source, window uint64) uint64 {
+	return d.windows[src][window]
+}
+
+// GBps converts bytes-in-one-window to GB/s.
+func (d *DRAM) GBps(bytes uint64) float64 {
+	seconds := float64(d.cfg.WindowCycles) / 2e9
+	return float64(bytes) / 1e9 / seconds
+}
+
+// PeakWindow finds the window with the highest total traffic from the
+// given sources, returning its index and the per-source bytes in it.
+// Figure 11 reports bandwidth in "the most memory-intensive phase of page
+// deduplication": the peak window of dedup traffic.
+func (d *DRAM) PeakWindow(srcs ...Source) (window uint64, bySrc [3]uint64, ok bool) {
+	var best uint64
+	for _, s := range srcs {
+		for w, b := range d.windows[s] {
+			total := b
+			for _, s2 := range srcs {
+				if s2 != s {
+					total += d.windows[s2][w]
+				}
+			}
+			if total > best {
+				best = total
+				window = w
+				ok = true
+			}
+		}
+	}
+	if ok {
+		for s := Source(0); s < numSources; s++ {
+			bySrc[s] = d.windows[s][window]
+		}
+	}
+	return window, bySrc, ok
+}
+
+// ResetBandwidthWindows clears the per-window accounting (but not the bank
+// and bus state). Measurement phases call this after warm-up so peak-window
+// statistics cover only the measured region.
+func (d *DRAM) ResetBandwidthWindows() {
+	for i := range d.windows {
+		d.windows[i] = make(map[uint64]uint64)
+	}
+}
+
+// TotalBytes reports all bytes transferred for a source.
+func (d *DRAM) TotalBytes(src Source) uint64 { return d.Stats.BytesBySrc[src] }
+
+// RowHitRate reports the fraction of accesses that hit an open row.
+func (d *DRAM) RowHitRate() float64 {
+	t := d.Stats.RowHits + d.Stats.RowMisses + d.Stats.RowCloseds
+	if t == 0 {
+		return 0
+	}
+	return float64(d.Stats.RowHits) / float64(t)
+}
+
+// Config returns the configuration (read-only use).
+func (d *DRAM) Config() Config { return d.cfg }

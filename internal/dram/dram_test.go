@@ -1,0 +1,183 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDecodeInterleavesChannels(t *testing.T) {
+	d := New(DefaultConfig())
+	g0 := d.Decode(0)
+	g1 := d.Decode(64)
+	if g0.Channel == g1.Channel {
+		t.Fatal("adjacent lines on the same channel")
+	}
+	g2 := d.Decode(128)
+	if g2.Channel != g0.Channel {
+		t.Fatal("channel interleave not round-robin")
+	}
+	if g2.Bank == g0.Bank {
+		t.Fatal("same-channel consecutive lines on the same bank")
+	}
+}
+
+func TestDecodeRowProgression(t *testing.T) {
+	d := New(DefaultConfig())
+	cfg := d.Config()
+	// Lines that map to the same channel+bank but consecutive rows.
+	stride := uint64(cfg.Channels*cfg.RanksPerChan*cfg.BanksPerRank) * uint64(cfg.LineBytes)
+	linesPerRow := uint64(cfg.RowBytes / cfg.LineBytes)
+	a := uint64(0)
+	b := stride * linesPerRow
+	ga, gb := d.Decode(a), d.Decode(b)
+	if ga.Channel != gb.Channel || ga.Bank != gb.Bank {
+		t.Fatal("stride math wrong: different bank")
+	}
+	if gb.Row != ga.Row+1 {
+		t.Fatalf("rows %d -> %d, want consecutive", ga.Row, gb.Row)
+	}
+}
+
+func TestRowHitIsFasterThanConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	// First access: closed bank.
+	lat1 := d.Access(0, 0, false, SrcCore)
+	want1 := cfg.CtrlOverhead + cfg.TRCD + cfg.TCL + cfg.TBurst
+	if lat1 != want1 {
+		t.Fatalf("closed-bank latency = %d, want %d", lat1, want1)
+	}
+	// Same row, much later (no queueing): row hit.
+	lat2 := d.Access(0, 10_000, false, SrcCore)
+	want2 := cfg.CtrlOverhead + cfg.TCL + cfg.TBurst
+	if lat2 != want2 {
+		t.Fatalf("row-hit latency = %d, want %d", lat2, want2)
+	}
+	// Different row, same bank: conflict.
+	stride := uint64(cfg.Channels*cfg.RanksPerChan*cfg.BanksPerRank) * uint64(cfg.LineBytes)
+	linesPerRow := uint64(cfg.RowBytes / cfg.LineBytes)
+	conflictAddr := stride * linesPerRow
+	lat3 := d.Access(conflictAddr, 20_000, false, SrcCore)
+	want3 := cfg.CtrlOverhead + cfg.TRP + cfg.TRCD + cfg.TCL + cfg.TBurst
+	if lat3 != want3 {
+		t.Fatalf("conflict latency = %d, want %d", lat3, want3)
+	}
+	if d.Stats.RowHits != 1 || d.Stats.RowMisses != 1 || d.Stats.RowCloseds != 1 {
+		t.Fatalf("row stats %+v", d.Stats)
+	}
+}
+
+func TestBankContentionQueues(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	// Two back-to-back requests to the same bank at the same cycle: the
+	// second waits for the first.
+	lat1 := d.Access(0, 0, false, SrcCore)
+	lat2 := d.Access(0, 0, false, SrcCore)
+	if lat2 <= lat1 {
+		t.Fatalf("second same-bank request latency %d <= first %d", lat2, lat1)
+	}
+}
+
+func TestChannelBusSerializesBursts(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	// Same channel, different banks, same arrival: bursts share one bus.
+	banksPerChan := uint64(cfg.RanksPerChan * cfg.BanksPerRank)
+	a := uint64(0)
+	b := uint64(cfg.Channels) * uint64(cfg.LineBytes) // next bank, same channel
+	if d.Decode(a).Channel != d.Decode(b).Channel {
+		t.Fatal("setup: different channels")
+	}
+	_ = banksPerChan
+	lat1 := d.Access(a, 0, false, SrcCore)
+	lat2 := d.Access(b, 0, false, SrcCore)
+	if lat2 != lat1+cfg.TBurst {
+		t.Fatalf("bus conflict latency = %d, want %d", lat2, lat1+cfg.TBurst)
+	}
+	// Different channel: no bus interaction.
+	c := uint64(cfg.LineBytes) // channel 1
+	lat3 := d.Access(c, 0, false, SrcCore)
+	if lat3 != lat1 {
+		t.Fatalf("independent channel latency = %d, want %d", lat3, lat1)
+	}
+}
+
+func TestBandwidthWindows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WindowCycles = 1000
+	d := New(cfg)
+	d.Access(0, 0, false, SrcKSM)
+	d.Access(64, 0, false, SrcKSM)
+	d.Access(128, 500, false, SrcCore)
+	d.Access(192, 1500, false, SrcKSM) // second window
+	if got := d.WindowBandwidth(SrcKSM, 0); got != 128 {
+		t.Fatalf("window 0 KSM bytes = %d, want 128", got)
+	}
+	if got := d.WindowBandwidth(SrcCore, 0); got != 64 {
+		t.Fatalf("window 0 core bytes = %d, want 64", got)
+	}
+	if got := d.WindowBandwidth(SrcKSM, 1); got != 64 {
+		t.Fatalf("window 1 KSM bytes = %d, want 64", got)
+	}
+	w, bySrc, ok := d.PeakWindow(SrcKSM)
+	if !ok || w != 0 {
+		t.Fatalf("peak window = %d ok=%v, want 0", w, ok)
+	}
+	if bySrc[SrcKSM] != 128 || bySrc[SrcCore] != 64 {
+		t.Fatalf("peak window bytes %v", bySrc)
+	}
+}
+
+func TestGBpsConversion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WindowCycles = 2_000_000 // 1ms
+	d := New(cfg)
+	// 2 GB/s = 2e9 bytes/s = 2e6 bytes per 1ms window.
+	if got := d.GBps(2_000_000); got < 1.99 || got > 2.01 {
+		t.Fatalf("GBps(2MB per 1ms) = %g, want ~2", got)
+	}
+}
+
+func TestTotalBytesAndRowHitRate(t *testing.T) {
+	d := New(DefaultConfig())
+	r := sim.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		d.Access(uint64(r.Intn(1<<20))*64, uint64(i*10), r.Bool(0.3), SrcPageForge)
+	}
+	if d.TotalBytes(SrcPageForge) != 64000 {
+		t.Fatalf("TotalBytes = %d", d.TotalBytes(SrcPageForge))
+	}
+	hr := d.RowHitRate()
+	if hr < 0 || hr > 1 {
+		t.Fatalf("row hit rate %g out of range", hr)
+	}
+	if d.Stats.Reads+d.Stats.Writes != 1000 {
+		t.Fatal("read/write accounting wrong")
+	}
+}
+
+func TestSequentialStreamMostlyRowHits(t *testing.T) {
+	// A dense sequential sweep within one bank's row should mostly hit.
+	cfg := DefaultConfig()
+	d := New(cfg)
+	stride := uint64(cfg.Channels*cfg.RanksPerChan*cfg.BanksPerRank) * uint64(cfg.LineBytes)
+	now := uint64(0)
+	for i := uint64(0); i < 64; i++ { // 64 lines within the same row
+		d.Access(i*stride%((uint64(cfg.RowBytes/cfg.LineBytes))*stride), now, false, SrcCore)
+		now += 100
+	}
+	if d.RowHitRate() < 0.9 {
+		t.Fatalf("row hit rate %g for single-row sweep", d.RowHitRate())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	New(Config{})
+}

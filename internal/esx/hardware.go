@@ -1,0 +1,72 @@
+package esx
+
+import (
+	"repro/internal/mem"
+	"repro/internal/pageforge"
+)
+
+// HardwareComparer runs the exhaustive comparisons on the PageForge engine
+// in *list mode* — the §4.2 generality example: "the OS sets both the Less
+// and More fields to the same value: that of the subsequent entry in the
+// Scan table. In this way, all the pages are selected for comparison."
+type HardwareComparer struct {
+	HW *pageforge.Engine
+	// PollInterval is the OS checking period (Table 5: 12,000 cycles).
+	PollInterval uint64
+
+	now     uint64
+	Batches uint64
+	Polls   uint64
+}
+
+// NewHardwareComparer wraps an engine with the default polling period.
+func NewHardwareComparer(hw *pageforge.Engine) *HardwareComparer {
+	return &HardwareComparer{HW: hw, PollInterval: 12_000}
+}
+
+// Now reports the comparer's wall clock (cycles of hardware time consumed).
+func (c *HardwareComparer) Now() uint64 { return c.now }
+
+// SamePage implements Comparer by loading the bucket as a linked list into
+// the Scan Table, in batches of up to NumOtherPages entries.
+func (c *HardwareComparer) SamePage(cand mem.PFN, others []mem.PFN) (int, int) {
+	linesBefore := c.HW.LinesFetched
+	first := true
+	for start := 0; start < len(others); start += pageforge.NumOtherPages {
+		end := start + pageforge.NumOtherPages
+		if end > len(others) {
+			end = len(others)
+		}
+		batch := others[start:end]
+		for i, pfn := range batch {
+			next := i + 1
+			if i == len(batch)-1 {
+				next = pageforge.InvalidIndex
+			}
+			c.HW.InsertPPN(i, pfn, next, next)
+		}
+		last := end == len(others)
+		if first {
+			c.HW.InsertPFE(cand, last, 0)
+			first = false
+		} else {
+			c.HW.UpdatePFE(last, 0)
+		}
+		c.HW.Trigger(c.now)
+		c.Batches++
+		var info pageforge.PFEInfo
+		for {
+			c.now += c.PollInterval
+			c.Polls++
+			info = c.HW.GetPFEInfo(c.now)
+			if info.Scanned {
+				break
+			}
+		}
+		bytes := int(c.HW.LinesFetched-linesBefore) * mem.LineSize / 2
+		if info.Duplicate {
+			return start + info.Ptr, bytes
+		}
+	}
+	return -1, int(c.HW.LinesFetched-linesBefore) * mem.LineSize / 2
+}

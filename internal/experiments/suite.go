@@ -1,0 +1,118 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6): Figure 7 (memory savings), Figure 8 (hash-key
+// accuracy), Table 4 (KSM characterization), Figures 9 and 10 (mean and
+// tail latency), Figure 11 (memory bandwidth), and Table 5 (PageForge
+// design characteristics). Each experiment returns structured rows plus a
+// paper-style text rendering.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/tailbench"
+)
+
+// Suite shares the expensive (mode, application) simulation runs across
+// experiments: Figures 9-11 and Tables 4-5 all consume the same runs.
+type Suite struct {
+	Cfg platform.Config
+	// Apps are the workloads to evaluate (default: all five TailBench
+	// applications of Table 3).
+	Apps []tailbench.Profile
+	// MinQueries controls queueing-simulation quality per VM.
+	MinQueries int
+
+	results map[string]*platform.Result
+}
+
+// NewSuite builds a suite over the paper's default setup.
+func NewSuite() *Suite {
+	return &Suite{
+		Cfg:        platform.DefaultConfig(),
+		Apps:       tailbench.Profiles(),
+		MinQueries: 2000,
+		results:    make(map[string]*platform.Result),
+	}
+}
+
+// NewFastSuite is a scaled-down suite for tests and quick demos.
+func NewFastSuite() *Suite {
+	s := NewSuite()
+	s.Cfg.ConvergePasses = 10
+	s.Cfg.MeasureIntervals = 10
+	s.Cfg.PagesToScan = 200
+	s.MinQueries = 400
+	for i := range s.Apps {
+		s.Apps[i].PagesPerVM = 300
+	}
+	return s
+}
+
+// Result returns the cached simulation result for (mode, app), running it
+// on first use.
+func (s *Suite) Result(mode platform.Mode, app tailbench.Profile) (*platform.Result, error) {
+	key := fmt.Sprintf("%s/%s", mode, app.Name)
+	if r, ok := s.results[key]; ok {
+		return r, nil
+	}
+	r, err := platform.Run(mode, app, s.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", mode, app.Name, err)
+	}
+	s.results[key] = r
+	return r, nil
+}
+
+// --- rendering helpers ----------------------------------------------------
+
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	dashes := make([]string, len(widths))
+	for i, w := range widths {
+		dashes[i] = strings.Repeat("-", w)
+	}
+	line(dashes)
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}

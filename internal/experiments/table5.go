@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+	"repro/internal/power"
+)
+
+// Table5Result is Table 5: PageForge operation timing and hardware cost.
+type Table5Result struct {
+	// ScanTableAvgCycles is the mean time to process all required entries
+	// in the Scan Table (paper: 7,486 cycles); ScanTableStd is the standard
+	// deviation across applications (paper: 1,296).
+	ScanTableAvgCycles float64
+	ScanTableStd       float64
+	// OSCheckCycles is the OS polling period (paper: 12,000, an input).
+	OSCheckCycles uint64
+	// PerApp batch means feeding the cross-application deviation.
+	PerAppBatchMean map[string]float64
+
+	// Hardware cost at 22nm HP (paper: Scan table 0.010mm²/0.028W, ALU
+	// 0.019mm²/0.009W, total 0.029mm²/0.037W).
+	Power power.PageForgeBreakdown
+	// Context: the server chip and in-order-core comparison points (§6.4.2).
+	ServerChip  power.Estimate
+	InOrderCore power.Estimate
+}
+
+// Table5 measures Scan Table processing time across applications and
+// evaluates the analytical area/power model.
+func Table5(s *Suite) (*Table5Result, error) {
+	res := &Table5Result{
+		OSCheckCycles:   s.Cfg.Driver.PollInterval,
+		PerAppBatchMean: make(map[string]float64),
+		Power:           power.PageForgeModule(power.Tech22HP),
+		ServerChip:      power.ServerChip(power.Tech22HP, s.Cfg.Cores, 32<<20),
+		InOrderCore:     power.InOrderCore(power.Tech22LOP),
+	}
+	var means []float64
+	for _, app := range s.Apps {
+		r, err := s.Result(platform.PageForge, app)
+		if err != nil {
+			return nil, err
+		}
+		res.PerAppBatchMean[app.Name] = r.PFBatchMean
+		means = append(means, r.PFBatchMean)
+	}
+	sum := 0.0
+	for _, m := range means {
+		sum += m
+	}
+	res.ScanTableAvgCycles = sum / float64(len(means))
+	varsum := 0.0
+	for _, m := range means {
+		d := m - res.ScanTableAvgCycles
+		varsum += d * d
+	}
+	if len(means) > 1 {
+		res.ScanTableStd = math.Sqrt(varsum / float64(len(means)-1))
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *Table5Result) String() string {
+	t := &table{
+		title:  "Table 5: PageForge design characteristics",
+		header: []string{"Operation / Unit", "Value", "Paper"},
+	}
+	t.add("Scan table processing (avg cycles)", f1(r.ScanTableAvgCycles), "7486")
+	t.add("  std across applications", f1(r.ScanTableStd), "1296")
+	t.add("OS checking period (cycles)", f1(float64(r.OSCheckCycles)), "12000")
+	t.add("Scan table area (mm^2)", f3(r.Power.ScanTable.AreaMM2), "0.010")
+	t.add("Scan table power (W)", f3(r.Power.ScanTable.PowerW), "0.028")
+	t.add("ALU area (mm^2)", f3(r.Power.ALU.AreaMM2), "0.019")
+	t.add("ALU power (W)", f3(r.Power.ALU.PowerW), "0.009")
+	t.add("Total PageForge area (mm^2)", f3(r.Power.Total.AreaMM2), "0.029")
+	t.add("Total PageForge power (W)", f3(r.Power.Total.PowerW), "0.037")
+	t.add("Server chip area (mm^2)", f1(r.ServerChip.AreaMM2), "138.6")
+	t.add("Server chip TDP (W)", f1(r.ServerChip.PowerW), "164")
+	t.add("In-order A9-class core area (mm^2)", f2(r.InOrderCore.AreaMM2), "0.77")
+	t.add("In-order A9-class core TDP (W)", f2(r.InOrderCore.PowerW), "0.37")
+	return t.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

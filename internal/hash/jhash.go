@@ -1,0 +1,114 @@
+// Package hash ports the Linux kernel's jhash2 function (Bob Jenkins'
+// lookup3 hash over arrays of u32), which KSM uses to compute per-page hash
+// keys over the first 1KB of a page's contents.
+package hash
+
+import "encoding/binary"
+
+// JHashInitval mirrors the kernel's JHASH_INITVAL (an arbitrary golden
+// value) used as the default initial seed.
+const JHashInitval uint32 = 0xdeadbeef
+
+func rol32(x uint32, k uint) uint32 {
+	return x<<k | x>>(32-k)
+}
+
+// mix is the kernel's __jhash_mix: reversible mixing of three 32-bit states.
+func mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= c
+	a ^= rol32(c, 4)
+	c += b
+	b -= a
+	b ^= rol32(a, 6)
+	a += c
+	c -= b
+	c ^= rol32(b, 8)
+	b += a
+	a -= c
+	a ^= rol32(c, 16)
+	c += b
+	b -= a
+	b ^= rol32(a, 19)
+	a += c
+	c -= b
+	c ^= rol32(b, 4)
+	b += a
+	return a, b, c
+}
+
+// final is the kernel's __jhash_final: irreversible avalanche of the state.
+func final(a, b, c uint32) uint32 {
+	c ^= b
+	c -= rol32(b, 14)
+	a ^= c
+	a -= rol32(c, 11)
+	b ^= a
+	b -= rol32(a, 25)
+	c ^= b
+	c -= rol32(b, 16)
+	a ^= c
+	a -= rol32(c, 4)
+	b ^= a
+	b -= rol32(a, 14)
+	c ^= b
+	c -= rol32(b, 24)
+	return c
+}
+
+// JHash2 hashes an array of uint32 values with the given initial value,
+// bit-for-bit compatible with the kernel's jhash2().
+func JHash2(k []uint32, initval uint32) uint32 {
+	length := uint32(len(k))
+	a := JHashInitval + length<<2 + initval
+	b, c := a, a
+
+	for len(k) > 3 {
+		a += k[0]
+		b += k[1]
+		c += k[2]
+		a, b, c = mix(a, b, c)
+		k = k[3:]
+	}
+
+	switch len(k) {
+	case 3:
+		c += k[2]
+		fallthrough
+	case 2:
+		b += k[1]
+		fallthrough
+	case 1:
+		a += k[0]
+		c = final(a, b, c)
+	case 0:
+		// Nothing left to add: return c as-is (kernel behaviour).
+	}
+	return c
+}
+
+// JHash2Bytes interprets b as little-endian uint32 words and hashes them.
+// len(b) must be a multiple of 4, matching the kernel call sites.
+func JHash2Bytes(b []byte, initval uint32) uint32 {
+	if len(b)%4 != 0 {
+		panic("hash: JHash2Bytes length must be a multiple of 4")
+	}
+	words := make([]uint32, len(b)/4)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(b[i*4 : i*4+4])
+	}
+	return JHash2(words, initval)
+}
+
+// KSMDigestBytes is how much of the page KSM hashes: the first 1KB
+// (calc_checksum in mm/ksm.c hashes PAGE_SIZE/4 bytes... the paper states
+// "a per-page hash key is generated based on 1KB of the page's contents").
+const KSMDigestBytes = 1024
+
+// PageHash computes KSM's per-page checksum: jhash2 over the first 1KB of
+// the page with initval 17, mirroring calc_checksum() in mm/ksm.c.
+func PageHash(page []byte) uint32 {
+	if len(page) < KSMDigestBytes {
+		panic("hash: PageHash needs at least 1KB of page data")
+	}
+	return JHash2Bytes(page[:KSMDigestBytes], 17)
+}

@@ -1,0 +1,145 @@
+package hash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestJHash2Deterministic(t *testing.T) {
+	k := []uint32{1, 2, 3, 4, 5}
+	if JHash2(k, 0) != JHash2(k, 0) {
+		t.Fatal("jhash2 not deterministic")
+	}
+}
+
+func TestJHash2InitvalMatters(t *testing.T) {
+	k := []uint32{42}
+	if JHash2(k, 0) == JHash2(k, 1) {
+		t.Fatal("initval ignored")
+	}
+}
+
+func TestJHash2EmptyKey(t *testing.T) {
+	// Kernel semantics: with zero words, the initialized state's c is
+	// returned untouched: JHASH_INITVAL + 0 + initval.
+	got := JHash2(nil, 5)
+	want := JHashInitval + 5
+	if got != want {
+		t.Fatalf("JHash2(nil,5) = %#x, want %#x", got, want)
+	}
+}
+
+func TestJHash2AllTailLengths(t *testing.T) {
+	// Lengths 1..12 exercise every switch arm and the mix loop boundary.
+	base := []uint32{9, 8, 7, 6, 5, 4, 3, 2, 1, 10, 11, 12}
+	seen := map[uint32]int{}
+	for n := 1; n <= len(base); n++ {
+		h := JHash2(base[:n], 0)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("lengths %d and %d collide (%#x)", prev, n, h)
+		}
+		seen[h] = n
+	}
+}
+
+func TestJHash2SingleBitAvalanche(t *testing.T) {
+	// Flipping one input bit should flip a substantial fraction of output
+	// bits on average (quality check for the ported mixer).
+	r := sim.NewRNG(1)
+	totalFlips := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		k := []uint32{r.Uint32(), r.Uint32(), r.Uint32(), r.Uint32()}
+		h1 := JHash2(k, 0)
+		word, bit := r.Intn(4), uint(r.Intn(32))
+		k[word] ^= 1 << bit
+		h2 := JHash2(k, 0)
+		diff := h1 ^ h2
+		for diff != 0 {
+			totalFlips += int(diff & 1)
+			diff >>= 1
+		}
+	}
+	avg := float64(totalFlips) / trials
+	if avg < 12 || avg > 20 {
+		t.Fatalf("avalanche average %.1f output bits flipped, want ~16", avg)
+	}
+}
+
+func TestJHash2BytesMatchesWordForm(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		n := 4 * (1 + r.Intn(64))
+		b := make([]byte, n)
+		r.FillBytes(b)
+		words := make([]uint32, n/4)
+		for i := range words {
+			words[i] = uint32(b[i*4]) | uint32(b[i*4+1])<<8 | uint32(b[i*4+2])<<16 | uint32(b[i*4+3])<<24
+		}
+		return JHash2Bytes(b, 7) == JHash2(words, 7)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJHash2BytesPanicsOnOddLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd length accepted")
+		}
+	}()
+	JHash2Bytes(make([]byte, 5), 0)
+}
+
+func TestPageHashUsesOnlyFirstKB(t *testing.T) {
+	page := make([]byte, 4096)
+	h1 := PageHash(page)
+	page[KSMDigestBytes] = 0xFF // just past the digested prefix
+	if PageHash(page) != h1 {
+		t.Fatal("byte outside the first 1KB changed the page hash")
+	}
+	page[KSMDigestBytes-1] = 0xFF
+	if PageHash(page) == h1 {
+		t.Fatal("byte inside the first 1KB did not change the page hash")
+	}
+}
+
+func TestPageHashPanicsOnShortPage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short page accepted")
+		}
+	}()
+	PageHash(make([]byte, 512))
+}
+
+func TestJHash2CollisionRate(t *testing.T) {
+	// 32-bit hash over 20k random 1KB buffers: expected collisions ~0.05
+	// by birthday bound; more than a handful indicates a porting bug.
+	r := sim.NewRNG(99)
+	seen := make(map[uint32]bool, 20000)
+	collisions := 0
+	buf := make([]byte, 1024)
+	for i := 0; i < 20000; i++ {
+		r.FillBytes(buf)
+		h := JHash2Bytes(buf, 17)
+		if seen[h] {
+			collisions++
+		}
+		seen[h] = true
+	}
+	if collisions > 3 {
+		t.Fatalf("%d collisions among 20k random inputs", collisions)
+	}
+}
+
+func TestRol32(t *testing.T) {
+	if rol32(1, 1) != 2 {
+		t.Fatal("rol32(1,1) != 2")
+	}
+	if rol32(0x80000000, 1) != 1 {
+		t.Fatal("rol32 wraparound broken")
+	}
+}

@@ -1,0 +1,115 @@
+package ksm
+
+import "repro/internal/sim"
+
+// Daemon schedules a scanner the way the kernel schedules ksmd: wake every
+// sleep_millisecs, scan pages_to_scan candidates, sleep again. It runs on a
+// discrete-event engine so other simulated activity (workload events,
+// churn) can interleave at exact cycle timestamps.
+type Daemon struct {
+	Scanner *Scanner
+	Engine  *sim.Engine
+	// SleepCycles is the wake period; PagesToScan the per-wake batch.
+	SleepCycles uint64
+	PagesToScan int
+	// OnBatch, when set, observes every completed batch (for churn hooks
+	// and instrumentation).
+	OnBatch func(now sim.Cycle, res BatchResult)
+
+	running bool
+	stopped bool
+	// Intervals counts completed work intervals.
+	Intervals uint64
+}
+
+// NewDaemon wires a scanner onto an engine with the paper's tunables
+// (sleep_millisecs=5, pages_to_scan=400) unless overridden.
+func NewDaemon(s *Scanner, e *sim.Engine) *Daemon {
+	return &Daemon{
+		Scanner:     s,
+		Engine:      e,
+		SleepCycles: sim.MillisToCycles(5),
+		PagesToScan: 400,
+	}
+}
+
+// Start schedules the first wake-up. The daemon reschedules itself until
+// Stop is called or no mergeable pages remain.
+func (d *Daemon) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.stopped = false
+	d.Engine.After(d.SleepCycles, d.wake)
+}
+
+// Stop prevents further wake-ups (the current one completes).
+func (d *Daemon) Stop() {
+	d.stopped = true
+	d.running = false
+}
+
+func (d *Daemon) wake(now sim.Cycle) {
+	if d.stopped {
+		return
+	}
+	if d.Scanner.Alg.MergeablePages() == 0 {
+		// "while mergeable pages > 0" — Algorithm 1's outer loop condition.
+		d.running = false
+		return
+	}
+	res := d.Scanner.ScanBatch(d.PagesToScan)
+	d.Intervals++
+	if d.OnBatch != nil {
+		d.OnBatch(now, res)
+	}
+	d.Engine.After(d.SleepCycles, d.wake)
+}
+
+// --- UKSM-style CPU governor (§7.2) -----------------------------------------
+
+// Governor adapts pages_to_scan so the daemon consumes a target fraction of
+// one core, the way UKSM lets operators set a CPU budget instead of KSM's
+// fixed sleep/pages knobs.
+type Governor struct {
+	// TargetCoreFrac is the allowed core share (e.g. 0.2 = 20% of a core).
+	TargetCoreFrac float64
+	// MinPages/MaxPages clamp the adaptation.
+	MinPages int
+	MaxPages int
+}
+
+// Attach installs the governor on a daemon: after every batch it rescales
+// pages_to_scan toward the budget using the batch's measured cycle cost.
+func (g Governor) Attach(d *Daemon) {
+	if g.MinPages <= 0 {
+		g.MinPages = 16
+	}
+	if g.MaxPages <= 0 {
+		g.MaxPages = 1 << 16
+	}
+	prev := d.OnBatch
+	d.OnBatch = func(now sim.Cycle, res BatchResult) {
+		if prev != nil {
+			prev(now, res)
+		}
+		if res.Scanned == 0 {
+			return
+		}
+		perPage := float64(res.Cycles.Total()) / float64(res.Scanned)
+		budget := g.TargetCoreFrac * float64(d.SleepCycles)
+		want := int(budget / perPage)
+		if want < g.MinPages {
+			want = g.MinPages
+		}
+		if want > g.MaxPages {
+			want = g.MaxPages
+		}
+		// Move halfway toward the target for stability.
+		d.PagesToScan = (d.PagesToScan + want) / 2
+		if d.PagesToScan < g.MinPages {
+			d.PagesToScan = g.MinPages
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package ksm
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDaemonSchedulesIntervals(t *testing.T) {
+	h, _ := world(t, 64, []byte{7, 8}, []byte{7, 9})
+	s := newScanner(h)
+	e := sim.NewEngine()
+	d := NewDaemon(s, e)
+	d.PagesToScan = 2 // half a pass per interval
+	d.Start()
+
+	// Run 10 sleep periods: 10 intervals = 5 full passes.
+	e.RunUntil(10 * d.SleepCycles)
+	if d.Intervals != 10 {
+		t.Fatalf("intervals = %d, want 10", d.Intervals)
+	}
+	if s.Alg.Stats.FullScans != 5 {
+		t.Fatalf("full scans = %d, want 5", s.Alg.Stats.FullScans)
+	}
+	// The duplicate pair merged along the way.
+	if h.Merges != 1 {
+		t.Fatalf("merges = %d, want 1", h.Merges)
+	}
+}
+
+func TestDaemonWakeTimesAreExact(t *testing.T) {
+	h, _ := world(t, 64, []byte{1}, []byte{2})
+	s := newScanner(h)
+	e := sim.NewEngine()
+	d := NewDaemon(s, e)
+	var wakes []sim.Cycle
+	d.OnBatch = func(now sim.Cycle, res BatchResult) { wakes = append(wakes, now) }
+	d.Start()
+	e.RunUntil(3 * d.SleepCycles)
+	if len(wakes) != 3 {
+		t.Fatalf("%d wakes", len(wakes))
+	}
+	for i, w := range wakes {
+		if want := sim.Cycle(i+1) * d.SleepCycles; w != want {
+			t.Fatalf("wake %d at %d, want %d", i, w, want)
+		}
+	}
+}
+
+func TestDaemonStop(t *testing.T) {
+	h, _ := world(t, 64, []byte{1}, []byte{2})
+	s := newScanner(h)
+	e := sim.NewEngine()
+	d := NewDaemon(s, e)
+	d.Start()
+	e.RunUntil(d.SleepCycles) // one interval
+	d.Stop()
+	e.Run()
+	if d.Intervals != 1 {
+		t.Fatalf("intervals after stop = %d, want 1", d.Intervals)
+	}
+	// Restartable.
+	d.Start()
+	e.RunUntil(e.Now() + d.SleepCycles)
+	if d.Intervals != 2 {
+		t.Fatalf("intervals after restart = %d, want 2", d.Intervals)
+	}
+}
+
+func TestDaemonExitsWithoutMergeablePages(t *testing.T) {
+	h := newHVNoPages(t)
+	s := newScanner(h)
+	e := sim.NewEngine()
+	d := NewDaemon(s, e)
+	d.Start()
+	e.Run() // drains: the daemon must not reschedule forever
+	if d.Intervals != 0 {
+		t.Fatalf("intervals = %d for empty scan order", d.Intervals)
+	}
+}
+
+func TestDaemonDoubleStartIsIdempotent(t *testing.T) {
+	h, _ := world(t, 64, []byte{1}, []byte{2})
+	s := newScanner(h)
+	e := sim.NewEngine()
+	d := NewDaemon(s, e)
+	d.Start()
+	d.Start() // must not double-schedule
+	e.RunUntil(d.SleepCycles)
+	if d.Intervals != 1 {
+		t.Fatalf("intervals = %d, double Start double-scheduled", d.Intervals)
+	}
+}
+
+func TestGovernorConvergesToBudget(t *testing.T) {
+	// Many unique pages (expensive per-page work) with a 20% core budget:
+	// the governor must settle near the budget regardless of the starting
+	// pages_to_scan.
+	contents := make([][]byte, 4)
+	for i := range contents {
+		contents[i] = make([]byte, 64)
+		for j := range contents[i] {
+			contents[i][j] = byte(1 + i*64 + j)
+		}
+	}
+	h, _ := world(t, 1024, contents...)
+	s := newScanner(h)
+	e := sim.NewEngine()
+	d := NewDaemon(s, e)
+	d.PagesToScan = 10_000 // way over budget initially
+	Governor{TargetCoreFrac: 0.2, MinPages: 8, MaxPages: 1 << 20}.Attach(d)
+
+	var lastShare float64
+	orig := d.OnBatch
+	d.OnBatch = func(now sim.Cycle, res BatchResult) {
+		lastShare = float64(res.Cycles.Total()) / float64(d.SleepCycles)
+		orig(now, res)
+	}
+	d.Start()
+	e.RunUntil(40 * d.SleepCycles)
+	if d.Intervals != 40 {
+		t.Fatalf("intervals = %d", d.Intervals)
+	}
+	if lastShare > 0.4 || lastShare < 0.02 {
+		t.Fatalf("governed core share %.2f, want near the 0.2 budget", lastShare)
+	}
+	if d.PagesToScan >= 10_000 {
+		t.Fatal("governor never reduced pages_to_scan")
+	}
+}
+
+func TestGovernorClamps(t *testing.T) {
+	h, _ := world(t, 64, []byte{1}, []byte{2})
+	s := newScanner(h)
+	e := sim.NewEngine()
+	d := NewDaemon(s, e)
+	d.PagesToScan = 100
+	Governor{TargetCoreFrac: 0.9, MinPages: 8, MaxPages: 64}.Attach(d)
+	d.Start()
+	e.RunUntil(10 * d.SleepCycles)
+	if d.PagesToScan > 64 {
+		t.Fatalf("pages_to_scan %d above MaxPages", d.PagesToScan)
+	}
+	if d.PagesToScan < 8 {
+		t.Fatalf("pages_to_scan %d below MinPages", d.PagesToScan)
+	}
+}

@@ -1,0 +1,375 @@
+// Package ksm is a from-scratch implementation of RedHat's Kernel Same-page
+// Merging (Algorithm 1 in the paper): a scanner that walks all mergeable
+// guest pages in passes, searches a stable tree of merged (CoW) pages and
+// an unstable tree of recently-unchanged pages — both indexed by page
+// contents — and merges duplicates.
+//
+// The algorithmic state (trees, per-page tracking, merge bookkeeping) is
+// factored into Algorithm so that two frontends can drive it:
+//
+//   - Scanner (this package): the software implementation, paying for every
+//     byte compared and hashed with core cycles, exactly like the KSM
+//     kthread the paper measures against.
+//   - pageforge.Driver: the OS driver of the PageForge hardware, which
+//     walks the same trees through the memory-controller Scan Table.
+package ksm
+
+import (
+	"repro/internal/hash"
+	"repro/internal/mem"
+	"repro/internal/rbtree"
+	"repro/internal/vm"
+)
+
+// Hasher computes the per-page hash key KSM uses to detect page changes
+// between passes, and reports the number of page bytes a computation reads
+// (the "memory footprint" of key generation the paper compares in §6.2).
+type Hasher interface {
+	PageKey(page []byte) uint32
+	BytesRead() int
+}
+
+// JHasher is KSM's hash: jhash2 over the first 1KB of the page.
+type JHasher struct{}
+
+// PageKey implements Hasher.
+func (JHasher) PageKey(page []byte) uint32 { return hash.PageHash(page) }
+
+// BytesRead implements Hasher: jhash reads 1KB of consecutive page data.
+func (JHasher) BytesRead() int { return hash.KSMDigestBytes }
+
+// rmapItem is KSM's per-mergeable-page tracking state.
+type rmapItem struct {
+	id      vm.PageID
+	oldHash uint32
+	hasHash bool
+	// unstableNode links the page to its node for the current pass only.
+	unstableNode *rbtree.Node
+	unstablePass uint64
+	// Smart-scan state: consecutive unchanged passes and the pass to
+	// resume scanning at.
+	unchangedStreak uint64
+	skipUntilPass   uint64
+}
+
+// stableItem is the payload of a stable-tree node: the tree holds one
+// reference on the frame so node contents stay valid until pruned.
+type stableItem struct {
+	pfn mem.PFN
+}
+
+// Stats are the /sys/kernel/mm/ksm-style counters plus the instrumentation
+// the paper's evaluation needs.
+type Stats struct {
+	FullScans      uint64 // completed passes over all mergeable pages
+	PagesScanned   uint64 // candidate pages processed
+	StableMerges   uint64 // merges into an existing stable page
+	UnstableMerges uint64 // merges that promoted an unstable pair
+	FailedMerges   uint64 // racing-write aborts
+	HashMatches    uint64 // candidate hash equal to previous pass
+	HashMismatches uint64 // candidate changed since previous pass (dropped)
+	HashFirstSeen  uint64 // first scan of a page (no previous hash)
+	StaleUnstable  uint64 // unstable matches invalidated before merge
+	StablePruned   uint64 // stable nodes dropped after last sharer left
+	ZeroMerges     uint64 // pages merged with the dedicated zero frame
+	SmartSkips     uint64 // candidates skipped by smart scan
+}
+
+// Algorithm is the engine-independent state of the KSM algorithm.
+type Algorithm struct {
+	HV       *vm.Hypervisor
+	Stable   *rbtree.Tree
+	Unstable *rbtree.Tree
+	Hasher   Hasher
+
+	items  map[vm.PageID]*rmapItem
+	order  []vm.PageID // scan order over mergeable pages
+	curs   int
+	pass   uint64
+	maxCmp int
+
+	opts    Options
+	zeroPFN *mem.PFN // dedicated zero frame (use_zero_pages)
+
+	Stats Stats
+}
+
+// NewAlgorithm builds the algorithm state over a hypervisor. The scan order
+// covers every currently-mergeable page of every VM; call RefreshOrder if
+// madvise regions change later.
+func NewAlgorithm(hv *vm.Hypervisor, h Hasher) *Algorithm {
+	a := &Algorithm{
+		HV:     hv,
+		Hasher: h,
+		items:  make(map[vm.PageID]*rmapItem),
+		pass:   1,
+	}
+	cmp := func(x, y mem.PFN) (int, int) {
+		c, n := hv.Phys.ComparePage(x, y)
+		if n > a.maxCmp {
+			a.maxCmp = n
+		}
+		return c, n
+	}
+	a.Stable = rbtree.New(cmp)
+	a.Unstable = rbtree.New(cmp)
+	a.RefreshOrder()
+	return a
+}
+
+// TakeMaxCmp reports the deepest single comparison since the last call and
+// resets the tracker. Software KSM keeps the candidate page cached, so the
+// candidate's DRAM traffic per candidate is its deepest read, not the sum
+// over every tree level.
+func (a *Algorithm) TakeMaxCmp() int {
+	m := a.maxCmp
+	a.maxCmp = 0
+	return m
+}
+
+// RefreshOrder rebuilds the list of mergeable pages to scan.
+func (a *Algorithm) RefreshOrder() {
+	a.order = a.order[:0]
+	for i := 0; i < a.HV.NumVMs(); i++ {
+		v := a.HV.VM(i)
+		for g := vm.GFN(0); int(g) < v.Pages(); g++ {
+			if v.Mergeable(g) {
+				a.order = append(a.order, vm.PageID{VM: i, GFN: g})
+			}
+		}
+	}
+	if a.curs >= len(a.order) {
+		a.curs = 0
+	}
+}
+
+// MergeablePages reports how many pages are in the scan order.
+func (a *Algorithm) MergeablePages() int { return len(a.order) }
+
+// Pass reports the current pass number (starting at 1).
+func (a *Algorithm) Pass() uint64 { return a.pass }
+
+// NextCandidate advances the cursor and returns the next mergeable page to
+// consider. It reports passEnded=true when the cursor wraps, at which point
+// the caller must call EndPass before continuing (Algorithm 1 resets the
+// unstable tree between passes).
+func (a *Algorithm) NextCandidate() (id vm.PageID, passEnded bool, ok bool) {
+	if len(a.order) == 0 {
+		return vm.PageID{}, false, false
+	}
+	id = a.order[a.curs]
+	a.curs++
+	if a.curs == len(a.order) {
+		a.curs = 0
+		return id, true, true
+	}
+	return id, false, true
+}
+
+// EndPass destroys the unstable tree ("throw away and regenerate") and
+// prunes stable nodes whose frames no longer have any guest mappers.
+func (a *Algorithm) EndPass() {
+	// Drop the per-node frame references held by the unstable tree.
+	a.Unstable.InOrder(func(n *rbtree.Node) bool {
+		a.HV.Phys.DecRef(n.PFN)
+		return true
+	})
+	a.Unstable.Reset()
+
+	// Prune stable nodes nobody maps anymore (their only reference is the
+	// tree's own hold).
+	var stale []*rbtree.Node
+	a.Stable.InOrder(func(n *rbtree.Node) bool {
+		if len(a.HV.Mappers(n.PFN)) == 0 {
+			stale = append(stale, n)
+		}
+		return true
+	})
+	for _, n := range stale {
+		a.Stable.Delete(n)
+		a.HV.Phys.DecRef(n.PFN)
+		a.Stats.StablePruned++
+	}
+	a.pass++
+	a.Stats.FullScans++
+}
+
+// item returns (creating if needed) the tracking state for a page.
+func (a *Algorithm) item(id vm.PageID) *rmapItem {
+	it := a.items[id]
+	if it == nil {
+		it = &rmapItem{id: id}
+		a.items[id] = it
+	}
+	return it
+}
+
+// SkipCandidate reports whether the candidate should be skipped outright:
+// not present (never touched) or already a merged KSM page.
+func (a *Algorithm) SkipCandidate(id vm.PageID) bool {
+	if a.HV.VM(id.VM).InHuge(id.GFN) {
+		return true // huge mappings cannot be remapped at 4KB granularity
+	}
+	pfn, ok := a.HV.Resolve(id)
+	if !ok {
+		return true
+	}
+	f := a.HV.Phys.Get(pfn)
+	return f.CoW() && f.Refs() > 1 // already sharing a stable page
+}
+
+// HashCheck computes the candidate's hash key and compares it with the key
+// from the previous pass. It returns changed=false only when the page has a
+// previous key and it matches — the precondition for searching the unstable
+// tree. The new key is recorded either way.
+func (a *Algorithm) HashCheck(id vm.PageID) (changed bool, bytesRead int) {
+	pfn, ok := a.HV.Resolve(id)
+	if !ok {
+		return true, 0
+	}
+	it := a.item(id)
+	key := a.Hasher.PageKey(a.HV.Phys.Page(pfn))
+	bytesRead = a.Hasher.BytesRead()
+	switch {
+	case !it.hasHash:
+		a.Stats.HashFirstSeen++
+		changed = true
+	case it.oldHash == key:
+		a.Stats.HashMatches++
+		changed = false
+	default:
+		a.Stats.HashMismatches++
+		changed = true
+	}
+	it.oldHash = key
+	it.hasHash = true
+	a.noteHashOutcome(id, changed)
+	return changed, bytesRead
+}
+
+// RecordHash stores an externally computed hash key (the PageForge driver
+// receives the key from hardware instead of computing it) and reports
+// whether the page changed since the last pass.
+func (a *Algorithm) RecordHash(id vm.PageID, key uint32) (changed bool) {
+	it := a.item(id)
+	switch {
+	case !it.hasHash:
+		a.Stats.HashFirstSeen++
+		changed = true
+	case it.oldHash == key:
+		a.Stats.HashMatches++
+		changed = false
+	default:
+		a.Stats.HashMismatches++
+		changed = true
+	}
+	it.oldHash = key
+	it.hasHash = true
+	a.noteHashOutcome(id, changed)
+	return changed
+}
+
+// MergeIntoStable merges the candidate with the stable node's frame.
+func (a *Algorithm) MergeIntoStable(id vm.PageID, node *rbtree.Node) (bytes int, ok bool) {
+	n, err := a.HV.Merge(id, node.PFN)
+	if err != nil {
+		a.Stats.FailedMerges++
+		return n, false
+	}
+	a.Stats.StableMerges++
+	return n, true
+}
+
+// ValidUnstableMatch checks that an unstable node still describes a live
+// page mapping (the unstable tree is allowed to go stale).
+func (a *Algorithm) ValidUnstableMatch(node *rbtree.Node) bool {
+	it, _ := node.Item.(*rmapItem)
+	if it == nil {
+		return false
+	}
+	pfn, ok := a.HV.Resolve(it.id)
+	return ok && pfn == node.PFN
+}
+
+// MergeWithUnstable merges the candidate with an unstable-tree match,
+// promoting the merged frame into the stable tree (Algorithm 1 lines
+// 14-17). On success the unstable node is removed.
+func (a *Algorithm) MergeWithUnstable(id vm.PageID, node *rbtree.Node) (bytes int, ok bool) {
+	if !a.ValidUnstableMatch(node) {
+		a.Stats.StaleUnstable++
+		a.removeUnstable(node)
+		return 0, false
+	}
+	n, err := a.HV.Merge(id, node.PFN)
+	if err != nil {
+		a.Stats.FailedMerges++
+		return n, false
+	}
+	pfn := node.PFN
+	a.removeUnstable(node)
+	// The stable tree takes its own reference so the node stays valid even
+	// if every sharer later CoW-breaks away.
+	a.HV.Phys.IncRef(pfn)
+	a.Stable.Insert(pfn, stableItem{pfn: pfn})
+	a.Stats.UnstableMerges++
+	return n, true
+}
+
+func (a *Algorithm) removeUnstable(node *rbtree.Node) {
+	if it, _ := node.Item.(*rmapItem); it != nil && it.unstableNode == node {
+		it.unstableNode = nil
+	}
+	a.Unstable.Delete(node)
+	a.HV.Phys.DecRef(node.PFN)
+}
+
+// UnstableInsert places the candidate into the unstable tree (no match was
+// found during the caller's search). The tree holds a frame reference until
+// the pass ends.
+func (a *Algorithm) UnstableInsert(id vm.PageID) *rbtree.Node {
+	pfn, ok := a.HV.Resolve(id)
+	if !ok {
+		return nil
+	}
+	it := a.item(id)
+	a.HV.Phys.IncRef(pfn)
+	n := a.Unstable.Insert(pfn, it)
+	it.unstableNode = n
+	it.unstablePass = a.pass
+	return n
+}
+
+// UnstableSearchOrInsert is the software path: one tree descent that either
+// finds a content-equal node or inserts the candidate.
+func (a *Algorithm) UnstableSearchOrInsert(id vm.PageID) (match *rbtree.Node, inserted bool) {
+	pfn, ok := a.HV.Resolve(id)
+	if !ok {
+		return nil, false
+	}
+	it := a.item(id)
+	a.HV.Phys.IncRef(pfn)
+	n, ins := a.Unstable.InsertOrGet(pfn, it)
+	if !ins {
+		// Not inserted: drop the speculative reference.
+		a.HV.Phys.DecRef(pfn)
+		return n, false
+	}
+	it.unstableNode = n
+	it.unstablePass = a.pass
+	return nil, true
+}
+
+// SharingStats reports pages_shared (stable frames with >1 mapper is the
+// paper's merged state; we report frames referenced by the stable tree that
+// have at least one mapper) and pages_sharing (guest pages mapping them).
+func (a *Algorithm) SharingStats() (shared, sharing int) {
+	a.Stable.InOrder(func(n *rbtree.Node) bool {
+		m := len(a.HV.Mappers(n.PFN))
+		if m > 0 {
+			shared++
+			sharing += m
+		}
+		return true
+	})
+	return shared, sharing
+}

@@ -1,0 +1,190 @@
+package ksm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+func TestUseZeroPagesMergesWithoutTrees(t *testing.T) {
+	h := vm.NewHypervisor(64 * mem.PageSize)
+	v := h.NewVM(6 * mem.PageSize)
+	v.Madvise(0, 6, true)
+	for g := vm.GFN(0); g < 6; g++ {
+		v.Touch(g) // zero pages
+	}
+	s := newScanner(h)
+	s.Alg.SetOptions(Options{UseZeroPages: true})
+	s.ScanBatch(6) // single pass suffices: no hash gating for zero pages
+	if s.Alg.Stats.ZeroMerges != 6 {
+		t.Fatalf("ZeroMerges = %d, want 6", s.Alg.Stats.ZeroMerges)
+	}
+	// All six pages share the dedicated zero frame; nothing entered trees.
+	if s.Alg.Stable.Size() != 0 || s.Alg.Unstable.Size() != 0 {
+		t.Fatal("zero pages leaked into the trees")
+	}
+	// 6 guest pages + the dedicated frame's own allocation = 1 frame total
+	// (the zero frame absorbed everything).
+	if h.Phys.AllocatedFrames() != 1 {
+		t.Fatalf("frames = %d, want 1", h.Phys.AllocatedFrames())
+	}
+	if s.Alg.Sysfs()["ksm_zero_pages"] != 6 {
+		t.Fatalf("sysfs ksm_zero_pages = %d", s.Alg.Sysfs()["ksm_zero_pages"])
+	}
+}
+
+func TestUseZeroPagesCoWBreak(t *testing.T) {
+	h := vm.NewHypervisor(64 * mem.PageSize)
+	v := h.NewVM(2 * mem.PageSize)
+	v.Madvise(0, 2, true)
+	v.Touch(0)
+	v.Touch(1)
+	s := newScanner(h)
+	s.Alg.SetOptions(Options{UseZeroPages: true})
+	s.ScanBatch(2)
+	if s.Alg.Stats.ZeroMerges != 2 {
+		t.Fatal("setup failed")
+	}
+	// A write breaks away from the zero frame; the other page keeps it.
+	if _, err := v.Write(0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	v.Read(1, 0, buf)
+	if buf[0] != 0 {
+		t.Fatal("zero sharer corrupted by CoW break")
+	}
+	if s.Alg.Sysfs()["ksm_zero_pages"] != 1 {
+		t.Fatalf("ksm_zero_pages = %d after break", s.Alg.Sysfs()["ksm_zero_pages"])
+	}
+}
+
+func TestZeroPagesOffKeepsOldBehaviour(t *testing.T) {
+	h := vm.NewHypervisor(64 * mem.PageSize)
+	v := h.NewVM(4 * mem.PageSize)
+	v.Madvise(0, 4, true)
+	for g := vm.GFN(0); g < 4; g++ {
+		v.Touch(g)
+	}
+	s := newScanner(h)
+	s.ScanBatch(4)
+	s.ScanBatch(4)
+	if s.Alg.Stats.ZeroMerges != 0 {
+		t.Fatal("zero merges without the option")
+	}
+	// They still merge — through the trees, as before.
+	if h.Phys.AllocatedFrames() != 1 {
+		t.Fatalf("frames = %d", h.Phys.AllocatedFrames())
+	}
+}
+
+func TestSmartScanSkipsStablePages(t *testing.T) {
+	h, _ := world(t, 128, []byte{1, 2, 3, 4}, []byte{5, 6, 7, 8})
+	s := newScanner(h)
+	s.Alg.SetOptions(Options{SmartScan: true})
+	// Several passes over 8 unique, unchanging pages.
+	for p := 0; p < 8; p++ {
+		s.ScanBatch(8)
+	}
+	if s.Alg.Stats.SmartSkips == 0 {
+		t.Fatal("smart scan never skipped")
+	}
+	// Skipped candidates do not hash: hash checks must be far below the
+	// 8 pages x 8 passes a naive scanner would do.
+	checks := s.Alg.Stats.HashMatches + s.Alg.Stats.HashMismatches + s.Alg.Stats.HashFirstSeen
+	if checks >= 8*8 {
+		t.Fatalf("hash checks = %d, smart scan saved nothing", checks)
+	}
+}
+
+func TestSmartScanReactsToChanges(t *testing.T) {
+	h, vms := world(t, 128, []byte{1}, []byte{2})
+	s := newScanner(h)
+	s.Alg.SetOptions(Options{SmartScan: true, SmartScanMaxSkip: 2})
+	for p := 0; p < 6; p++ {
+		s.ScanBatch(2)
+	}
+	// Page 0 now changes to match page 1's content; with the skip bound of
+	// 2 passes the scanner notices within a few passes and merges.
+	vms[0].Write(0, 0, bytes.Repeat([]byte{2}, mem.PageSize))
+	for p := 0; p < 8 && h.Merges == 0; p++ {
+		s.ScanBatch(2)
+	}
+	if h.Merges != 1 {
+		t.Fatal("smart scan never caught the changed page")
+	}
+}
+
+func TestSmartScanReducesSteadyStateCycles(t *testing.T) {
+	// The point of the feature: converged deployments get cheaper passes.
+	build := func(smart bool) uint64 {
+		// Unique, unchanging pages: without smart scan every pass re-hashes
+		// and re-inserts all of them into the unstable tree.
+		h, _ := world(t, 512,
+			[]byte{1, 2, 3, 4, 5, 6, 7, 8},
+			[]byte{11, 12, 13, 14, 15, 16, 17, 18},
+		)
+		s := newScanner(h)
+		if smart {
+			s.Alg.SetOptions(Options{SmartScan: true})
+		}
+		s.RunToSteadyState(6)
+		before := s.Cycles.Total()
+		for p := 0; p < 6; p++ {
+			s.ScanBatch(16)
+		}
+		return s.Cycles.Total() - before
+	}
+	plain := build(false)
+	smart := build(true)
+	if smart >= plain {
+		t.Fatalf("smart scan steady-state cycles %d not below plain %d", smart, plain)
+	}
+}
+
+func TestSysfsCounters(t *testing.T) {
+	h, _ := world(t, 64, []byte{7}, []byte{7})
+	s := newScanner(h)
+	s.ScanBatch(2)
+	s.ScanBatch(2)
+	m := s.Alg.Sysfs()
+	if m["pages_shared"] != 1 || m["pages_sharing"] != 2 {
+		t.Fatalf("sysfs shared/sharing = %d/%d", m["pages_shared"], m["pages_sharing"])
+	}
+	if m["full_scans"] != 2 {
+		t.Fatalf("full_scans = %d", m["full_scans"])
+	}
+	if m["pages_scanned"] != 4 {
+		t.Fatalf("pages_scanned = %d", m["pages_scanned"])
+	}
+	out := s.Alg.SysfsString()
+	if out == "" || len(out) < 50 {
+		t.Fatal("SysfsString empty")
+	}
+}
+
+func TestHugePagesBlockScanningUntilBroken(t *testing.T) {
+	// Reproduces §7.3's tension: duplicate pages under huge mappings are
+	// invisible to merging until the hypervisor proactively breaks them
+	// (Guo et al., VEE 2015).
+	h, vms := world(t, 128, []byte{7, 7, 7, 7}, []byte{7, 7, 7, 7})
+	vms[0].MapHuge(0, 4)
+	vms[1].MapHuge(0, 4)
+	s := newScanner(h)
+	s.RunToSteadyState(6)
+	if h.Merges != 0 {
+		t.Fatal("pages under huge mappings merged")
+	}
+	if h.Phys.AllocatedFrames() != 8 {
+		t.Fatalf("frames = %d, want 8 (nothing mergeable)", h.Phys.AllocatedFrames())
+	}
+	// Proactive breaking recovers the full savings.
+	vms[0].BreakAllHuge()
+	vms[1].BreakAllHuge()
+	s.RunToSteadyState(8)
+	if h.Phys.AllocatedFrames() != 1 {
+		t.Fatalf("frames = %d, want 1 after breaking", h.Phys.AllocatedFrames())
+	}
+}

@@ -1,0 +1,235 @@
+package ksm
+
+// Costs models what the software KSM kthread pays, in core cycles, for each
+// primitive. The defaults are calibrated so that the per-candidate cycle
+// breakdown matches Table 4 of the paper (on average ~52% of KSM cycles in
+// page comparison, ~15% in hash generation, the rest in bookkeeping).
+type Costs struct {
+	// CyclesPerCompareByte is the cost of the byte-wise content comparison
+	// including average memory stalls (comparison streams cold data).
+	CyclesPerCompareByte float64
+	// CyclesPerHashByte is the cost of jhash2 per input byte.
+	CyclesPerHashByte float64
+	// CandidateOverhead is the fixed per-candidate cost: rmap lookups,
+	// locking, page-table walks, cursor advance.
+	CandidateOverhead uint64
+	// MergeOverhead is the fixed cost of a successful merge: remapping,
+	// write protection, TLB shootdown.
+	MergeOverhead uint64
+}
+
+// DefaultCosts reflects a 2 GHz OoO core running the KSM kthread over cold
+// page data: both comparison and hashing are memory-stall dominated
+// (~0.6 bytes/cycle/page for the dual-stream compare, ~0.5 B/cycle for
+// jhash), and each candidate pays rmap lookups, locking, and page-table
+// walks. With the evaluation's content profile this lands each candidate
+// at roughly 52% compare / 15% hash / 33% bookkeeping and the kthread at
+// ~6-7% of total machine cycles — Table 4's measured breakdown.
+func DefaultCosts() Costs {
+	return Costs{
+		CyclesPerCompareByte: 2.0,
+		CyclesPerHashByte:    4.4,
+		CandidateOverhead:    6900,
+		MergeOverhead:        4000,
+	}
+}
+
+// CycleBreakdown attributes the scanner's core cycles to the categories
+// Table 4 reports.
+type CycleBreakdown struct {
+	Compare uint64 // page comparisons (stable + unstable search + final)
+	Hash    uint64 // hash key generation
+	Other   uint64 // bookkeeping, merging overhead
+}
+
+// Total sums all categories.
+func (c CycleBreakdown) Total() uint64 { return c.Compare + c.Hash + c.Other }
+
+// Scanner is the software KSM frontend: it runs the algorithm on a core,
+// charging cycles and cache footprint for every byte it touches.
+type Scanner struct {
+	Alg   *Algorithm
+	Costs Costs
+
+	// Cycles is the cumulative core-cycle consumption, broken down.
+	Cycles CycleBreakdown
+	// BytesTouched is the page data streamed through the core's caches
+	// (compare + hash traffic) — the source of the L3 pollution the paper
+	// measures in Table 4.
+	BytesTouched uint64
+	// DRAMBytes is the memory traffic the scan actually draws from DRAM:
+	// tree pages are cold, but the candidate page stays cached between
+	// comparisons, so it contributes only its deepest read, and the hash
+	// reads only the part of its 1KB prefix the comparisons did not
+	// already fetch.
+	DRAMBytes uint64
+}
+
+// NewScanner wraps algorithm state with software cost accounting.
+func NewScanner(alg *Algorithm, costs Costs) *Scanner {
+	return &Scanner{Alg: alg, Costs: costs}
+}
+
+// BatchResult summarizes one work interval (pages_to_scan candidates).
+type BatchResult struct {
+	Scanned   int
+	Merged    int
+	Cycles    CycleBreakdown
+	Bytes     uint64
+	PassEnded bool
+}
+
+// ScanBatch processes up to n candidate pages — one KSM work interval. The
+// caller (the platform scheduler) charges the returned cycles to whichever
+// core the kthread is running on.
+func (s *Scanner) ScanBatch(n int) BatchResult {
+	before := s.Cycles
+	bytesBefore := s.BytesTouched
+	var res BatchResult
+	for i := 0; i < n; i++ {
+		merged, passEnded, ok := s.ScanOne()
+		if !ok {
+			break
+		}
+		res.Scanned++
+		if merged {
+			res.Merged++
+		}
+		if passEnded {
+			res.PassEnded = true
+		}
+	}
+	res.Cycles = CycleBreakdown{
+		Compare: s.Cycles.Compare - before.Compare,
+		Hash:    s.Cycles.Hash - before.Hash,
+		Other:   s.Cycles.Other - before.Other,
+	}
+	res.Bytes = s.BytesTouched - bytesBefore
+	return res
+}
+
+// ScanOne processes a single candidate page through Algorithm 1.
+func (s *Scanner) ScanOne() (merged, passEnded, ok bool) {
+	a := s.Alg
+	id, passEnded, ok := a.NextCandidate()
+	if !ok {
+		return false, false, false
+	}
+	if passEnded {
+		defer a.EndPass()
+	}
+	a.TakeMaxCmp()
+	hashed := 0
+	defer func() {
+		// Candidate-page DRAM contribution: deepest read, plus the part of
+		// the hash prefix not covered by it.
+		deepest := a.TakeMaxCmp()
+		s.DRAMBytes += uint64(deepest)
+		if hashed > deepest {
+			s.DRAMBytes += uint64(hashed - deepest)
+		}
+	}()
+	a.Stats.PagesScanned++
+	s.Cycles.Other += s.Costs.CandidateOverhead
+
+	if a.SkipCandidate(id) {
+		return false, passEnded, true
+	}
+	if a.SmartSkip(id) {
+		return false, passEnded, true
+	}
+	if a.Options().UseZeroPages {
+		zeroMerged, scanned := a.TryMergeZero(id)
+		s.chargeCompare(uint64(scanned))
+		if zeroMerged {
+			s.Cycles.Other += s.Costs.MergeOverhead
+			return true, passEnded, true
+		}
+	}
+	pfn, okr := a.HV.Resolve(id)
+	if !okr {
+		return false, passEnded, true
+	}
+
+	// Search the stable tree (Algorithm 1 line 7).
+	cmpBytes := a.Stable.BytesCompared
+	node := a.Stable.Lookup(pfn)
+	s.chargeCompare(a.Stable.BytesCompared - cmpBytes)
+
+	if node != nil && node.PFN != pfn {
+		n, mok := a.MergeIntoStable(id, node)
+		s.chargeVerify(uint64(n)) // the final write-protected compare
+		if mok {
+			s.Cycles.Other += s.Costs.MergeOverhead
+			return true, passEnded, true
+		}
+		return false, passEnded, true
+	}
+
+	// Not in the stable tree: hash-based change detection (lines 11-12).
+	changed, bytesRead := a.HashCheck(id)
+	hashed = bytesRead
+	s.chargeHash(uint64(bytesRead))
+	if changed {
+		// Modified since last pass (or first sighting): drop it (line 22).
+		return false, passEnded, true
+	}
+
+	// Search the unstable tree, inserting on miss (lines 13-20).
+	cmpBytes = a.Unstable.BytesCompared
+	match, _ := a.UnstableSearchOrInsert(id)
+	s.chargeCompare(a.Unstable.BytesCompared - cmpBytes)
+	if match != nil {
+		n, mok := a.MergeWithUnstable(id, match)
+		s.chargeVerify(uint64(n))
+		if mok {
+			s.Cycles.Other += s.Costs.MergeOverhead
+			return true, passEnded, true
+		}
+	}
+	return false, passEnded, true
+}
+
+func (s *Scanner) chargeCompare(bytes uint64) {
+	// Both pages are streamed, so the cache footprint is twice the bytes
+	// examined on one page. Only the tree page's side is charged to DRAM
+	// here; the candidate's side is accounted once per candidate.
+	s.Cycles.Compare += uint64(float64(bytes) * s.Costs.CyclesPerCompareByte)
+	s.BytesTouched += 2 * bytes
+	s.DRAMBytes += bytes
+}
+
+// chargeVerify covers the final write-protected re-comparison before a
+// merge: it costs core cycles, but both pages were just compared and sit
+// in the cache hierarchy, so it draws (almost) nothing from DRAM.
+func (s *Scanner) chargeVerify(bytes uint64) {
+	s.Cycles.Compare += uint64(float64(bytes) * s.Costs.CyclesPerCompareByte * 0.25)
+	s.BytesTouched += 2 * bytes
+}
+
+func (s *Scanner) chargeHash(bytes uint64) {
+	s.Cycles.Hash += uint64(float64(bytes) * s.Costs.CyclesPerHashByte)
+	s.BytesTouched += bytes
+}
+
+// RunToSteadyState drives full passes until a pass completes with no new
+// merges, or maxPasses is reached. It returns the number of passes run.
+// Memory-savings experiments (Figure 7) measure after this converges.
+func (s *Scanner) RunToSteadyState(maxPasses int) int {
+	for p := 0; p < maxPasses; p++ {
+		mergesBefore := s.Alg.Stats.StableMerges + s.Alg.Stats.UnstableMerges
+		pages := s.Alg.MergeablePages()
+		if pages == 0 {
+			return p
+		}
+		for i := 0; i < pages; i++ {
+			if _, _, ok := s.ScanOne(); !ok {
+				return p
+			}
+		}
+		if s.Alg.Stats.StableMerges+s.Alg.Stats.UnstableMerges == mergesBefore && p > 0 {
+			return p + 1
+		}
+	}
+	return maxPasses
+}

@@ -1,0 +1,227 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestAllocZeroesAndCounts(t *testing.T) {
+	p := New(16 * PageSize)
+	if p.TotalFrames() != 16 {
+		t.Fatalf("TotalFrames = %d, want 16", p.TotalFrames())
+	}
+	pfn, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range p.Page(pfn) {
+		if b != 0 {
+			t.Fatalf("fresh frame byte %d = %d, want 0", i, b)
+		}
+	}
+	if p.AllocatedFrames() != 1 || p.FreeFrames() != 15 {
+		t.Fatalf("alloc accounting wrong: %d/%d", p.AllocatedFrames(), p.FreeFrames())
+	}
+	if p.Get(pfn).Refs() != 1 {
+		t.Fatalf("fresh frame refs = %d, want 1", p.Get(pfn).Refs())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	p := New(2 * PageSize)
+	if _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(); err != ErrOutOfMemory {
+		t.Fatalf("third alloc err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestRefcountLifecycle(t *testing.T) {
+	p := New(4 * PageSize)
+	pfn, _ := p.Alloc()
+	p.IncRef(pfn)
+	p.IncRef(pfn)
+	if p.Get(pfn).Refs() != 3 {
+		t.Fatalf("refs = %d, want 3", p.Get(pfn).Refs())
+	}
+	p.DecRef(pfn)
+	p.DecRef(pfn)
+	if p.AllocatedFrames() != 1 {
+		t.Fatal("frame freed while references remain")
+	}
+	p.DecRef(pfn)
+	if p.AllocatedFrames() != 0 {
+		t.Fatal("frame not freed at refcount zero")
+	}
+	if p.Frees != 1 {
+		t.Fatalf("Frees = %d, want 1", p.Frees)
+	}
+}
+
+func TestFreedFrameIsRezeroedOnReuse(t *testing.T) {
+	p := New(1 * PageSize)
+	pfn, _ := p.Alloc()
+	p.Page(pfn)[100] = 0xAB
+	p.DecRef(pfn)
+	pfn2, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Page(pfn2)[100] != 0 {
+		t.Fatal("reused frame leaked previous contents (information leak)")
+	}
+}
+
+func TestAccessUnallocatedPanics(t *testing.T) {
+	p := New(4 * PageSize)
+	pfn, _ := p.Alloc()
+	p.DecRef(pfn)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access to freed frame did not panic")
+		}
+	}()
+	p.Page(pfn)
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	p := New(8 * PageSize)
+	var pfns []PFN
+	for i := 0; i < 5; i++ {
+		pfn, _ := p.Alloc()
+		pfns = append(pfns, pfn)
+	}
+	for _, pfn := range pfns {
+		p.DecRef(pfn)
+	}
+	if p.PeakFrames() != 5 {
+		t.Fatalf("peak = %d, want 5", p.PeakFrames())
+	}
+	if p.AllocatedFrames() != 0 {
+		t.Fatalf("allocated = %d, want 0", p.AllocatedFrames())
+	}
+}
+
+func TestSameAndComparePage(t *testing.T) {
+	p := New(4 * PageSize)
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	same, n := p.SamePage(a, b)
+	if !same || n != PageSize {
+		t.Fatalf("identical zero pages: same=%v n=%d", same, n)
+	}
+	p.Page(b)[10] = 5
+	same, n = p.SamePage(a, b)
+	if same {
+		t.Fatal("different pages reported same")
+	}
+	if n != 11 {
+		t.Fatalf("divergence cost = %d bytes, want 11 (compare stops at first diff)", n)
+	}
+	cmp, _ := p.ComparePage(a, b)
+	if cmp >= 0 {
+		t.Fatalf("ComparePage = %d, want negative (0x00 < 0x05)", cmp)
+	}
+	cmp, _ = p.ComparePage(b, a)
+	if cmp <= 0 {
+		t.Fatalf("reversed ComparePage = %d, want positive", cmp)
+	}
+	cmp, n = p.ComparePage(a, a)
+	if cmp != 0 || n != PageSize {
+		t.Fatalf("self compare = %d/%d", cmp, n)
+	}
+}
+
+func TestComparePageAntisymmetricQuick(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		p := New(2 * PageSize)
+		a, _ := p.Alloc()
+		b, _ := p.Alloc()
+		r.FillBytes(p.Page(a))
+		copy(p.Page(b), p.Page(a))
+		// Perturb b at a random position half the time.
+		if r.Bool(0.5) {
+			p.Page(b)[r.Intn(PageSize)] ^= byte(1 + r.Intn(255))
+		}
+		ab, _ := p.ComparePage(a, b)
+		ba, _ := p.ComparePage(b, a)
+		return ab == -ba
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyPageAndIsZero(t *testing.T) {
+	p := New(4 * PageSize)
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	if !p.IsZero(a) {
+		t.Fatal("fresh frame not zero")
+	}
+	p.Page(a)[0] = 1
+	if p.IsZero(a) {
+		t.Fatal("dirty frame reported zero")
+	}
+	p.CopyPage(b, a)
+	if same, _ := p.SamePage(a, b); !same {
+		t.Fatal("CopyPage did not copy")
+	}
+}
+
+func TestCoWFlag(t *testing.T) {
+	p := New(2 * PageSize)
+	pfn, _ := p.Alloc()
+	if p.Get(pfn).CoW() {
+		t.Fatal("fresh frame marked CoW")
+	}
+	p.SetCoW(pfn, true)
+	if !p.Get(pfn).CoW() {
+		t.Fatal("SetCoW had no effect")
+	}
+	// CoW state must not survive free/realloc.
+	p.DecRef(pfn)
+	pfn2, _ := p.Alloc()
+	if p.Get(pfn2).CoW() {
+		t.Fatal("CoW flag leaked across reallocation")
+	}
+}
+
+func TestReadLineBounds(t *testing.T) {
+	p := New(PageSize)
+	pfn, _ := p.Alloc()
+	p.Page(pfn)[64] = 0xCD
+	line := p.ReadLine(pfn, 1)
+	if len(line) != LineSize || line[0] != 0xCD {
+		t.Fatal("ReadLine returned wrong slice")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range line index did not panic")
+		}
+	}()
+	p.ReadLine(pfn, LinesPerPage)
+}
+
+func TestAddressHelpers(t *testing.T) {
+	pfn := PFN(3)
+	if pfn.Base() != 3*PageSize {
+		t.Fatalf("Base = %d", pfn.Base())
+	}
+	if pfn.LineAddr(2) != 3*PageSize+128 {
+		t.Fatalf("LineAddr = %d", pfn.LineAddr(2))
+	}
+	a := Addr(3*PageSize + 130)
+	if PFNOf(a) != 3 {
+		t.Fatalf("PFNOf = %d", PFNOf(a))
+	}
+	if LineIndexOf(a) != 2 {
+		t.Fatalf("LineIndexOf = %d", LineIndexOf(a))
+	}
+}

@@ -1,0 +1,152 @@
+// Package memctrl models the memory controller of Figure 3: read/write
+// request paths with the ECC encode/decode engine on the data path, request
+// coalescing between demand traffic and PageForge traffic, and the line
+// fetch service the PageForge module uses ("issue each request to the
+// on-chip network first; otherwise place it in the Read Request Buffer").
+package memctrl
+
+import (
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/mem"
+)
+
+// Stats counts controller activity.
+type Stats struct {
+	DemandReads      uint64
+	DemandWrites     uint64
+	PFFetches        uint64 // PageForge line fetches requested
+	PFNetworkHits    uint64 // serviced by the on-chip network (caches)
+	PFDRAMReads      uint64 // serviced by the local DRAM
+	PFCoalesced      uint64 // folded into an in-flight request
+	ECCEncodes       uint64 // lines encoded (writes + network-serviced fetches)
+	ECCDecodes       uint64 // lines decoded (DRAM reads)
+	ECCCorrected     uint64
+	ECCUncorrectable uint64
+}
+
+// Controller is one memory controller. The platform instantiates two and
+// places the PageForge module in one of them (Figure 5).
+type Controller struct {
+	DRAM *dram.DRAM
+	Phys *mem.Phys
+	// Hier, when set, is probed for cached copies before going to DRAM on
+	// PageForge fetches. Demand traffic arrives *from* the hierarchy, so it
+	// never probes.
+	Hier *cache.Hierarchy
+	// NetworkLatency is the round-trip cost of a network-serviced fetch.
+	NetworkLatency uint64
+	// FaultInject, when set, flips bits in fetched line data before ECC
+	// decoding (testing hook for the SECDED path).
+	FaultInject func(addr uint64, line []byte)
+
+	Stats   Stats
+	pending map[uint64]uint64 // line addr -> completion cycle of in-flight read
+}
+
+// New wires a controller over a DRAM model and backing store.
+func New(d *dram.DRAM, phys *mem.Phys, hier *cache.Hierarchy) *Controller {
+	return &Controller{
+		DRAM:           d,
+		Phys:           phys,
+		Hier:           hier,
+		NetworkLatency: 40, // bus + L3 tag + transfer on the 512b bus
+		pending:        make(map[uint64]uint64),
+	}
+}
+
+// DemandAccess services a cache-hierarchy fill or write-back at cycle now
+// and returns its latency. Reads coalesce with in-flight PageForge reads
+// for the same line (Section 3.2.2). src attributes the DRAM traffic: core
+// demand, or the software KSM kthread streaming pages through the caches.
+func (c *Controller) DemandAccess(addr uint64, now uint64, write bool, src dram.Source) uint64 {
+	lineAddr := addr &^ uint64(mem.LineSize-1)
+	if write {
+		c.Stats.DemandWrites++
+		c.Stats.ECCEncodes++
+		return c.DRAM.Access(lineAddr, now, true, src)
+	}
+	c.Stats.DemandReads++
+	if done, ok := c.pending[lineAddr]; ok && done > now {
+		c.Stats.PFCoalesced++
+		return done - now
+	}
+	c.Stats.ECCDecodes++
+	lat := c.DRAM.Access(lineAddr, now, false, src)
+	c.trackPending(lineAddr, now, now+lat)
+	return lat
+}
+
+// FetchResult describes a PageForge line fetch.
+type FetchResult struct {
+	Data    []byte
+	Code    ecc.LineCode
+	Latency uint64
+	// FromNetwork reports whether a cache supplied the line; the ECC code
+	// was then produced by the controller's encoder rather than the DIMM.
+	FromNetwork bool
+}
+
+// FetchLine services a PageForge request for one line of a physical frame
+// at cycle now, per Section 3.2.2 / 3.3.2: probe the on-chip network first;
+// otherwise coalesce with pending requests or access DRAM, attributing the
+// traffic to the PageForge source.
+func (c *Controller) FetchLine(pfn mem.PFN, lineIdx int, now uint64, src dram.Source) FetchResult {
+	c.Stats.PFFetches++
+	addr := uint64(pfn.LineAddr(lineIdx))
+	data := c.Phys.ReadLine(pfn, lineIdx)
+
+	if c.Hier != nil && c.Hier.ProbeNetwork(addr) {
+		// Serviced from a cache: the response passes through the memory
+		// controller and the ECC engine generates the code on the fly.
+		c.Stats.PFNetworkHits++
+		c.Stats.ECCEncodes++
+		return FetchResult{Data: data, Code: ecc.EncodeLine(data), Latency: c.NetworkLatency, FromNetwork: true}
+	}
+
+	if done, ok := c.pending[addr]; ok && done > now {
+		// Another request for this line is already in flight: coalesce.
+		c.Stats.PFCoalesced++
+		return FetchResult{Data: data, Code: c.dimmCode(addr, data), Latency: done - now}
+	}
+
+	c.Stats.PFDRAMReads++
+	c.Stats.ECCDecodes++
+	lat := c.DRAM.Access(addr, now, false, src)
+	c.trackPending(addr, now, now+lat)
+	return FetchResult{Data: data, Code: c.dimmCode(addr, data), Latency: lat}
+}
+
+// dimmCode produces the ECC code that arrives from the DIMM's spare chip
+// alongside the line. The simulation stores no separate ECC array — codes
+// are recomputed, which is bit-identical for error-free DIMMs. The fault
+// injection hook corrupts the data *after* code generation so the decode
+// path sees a genuine mismatch.
+func (c *Controller) dimmCode(addr uint64, data []byte) ecc.LineCode {
+	code := ecc.EncodeLine(data)
+	if c.FaultInject != nil {
+		corrupted := make([]byte, len(data))
+		copy(corrupted, data)
+		c.FaultInject(addr, corrupted)
+		if _, st := ecc.DecodeLine(corrupted, code); st == ecc.CorrectedData || st == ecc.CorrectedCheck {
+			c.Stats.ECCCorrected++
+		} else if st == ecc.DetectedDouble {
+			c.Stats.ECCUncorrectable++
+		}
+	}
+	return code
+}
+
+// trackPending records an in-flight read and prunes already-completed
+// entries so the map stays small.
+func (c *Controller) trackPending(addr, now, done uint64) {
+	if len(c.pending) > 4096 {
+		for a, d := range c.pending {
+			if d <= now {
+				delete(c.pending, a)
+			}
+		}
+	}
+	c.pending[addr] = done
+}

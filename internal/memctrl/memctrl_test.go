@@ -1,0 +1,162 @@
+package memctrl
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/mem"
+)
+
+func newCtrl(frames int, withHier bool) (*Controller, *mem.Phys, *cache.Hierarchy) {
+	phys := mem.New(uint64(frames) * mem.PageSize)
+	var hier *cache.Hierarchy
+	if withHier {
+		cfg := cache.DefaultHierarchyConfig()
+		cfg.Cores = 2
+		cfg.L1 = cache.Config{SizeBytes: 4 << 10, Ways: 4}
+		cfg.L2 = cache.Config{SizeBytes: 16 << 10, Ways: 4}
+		cfg.L3 = cache.Config{SizeBytes: 64 << 10, Ways: 8}
+		hier = cache.NewHierarchy(cfg)
+	}
+	c := New(dram.New(dram.DefaultConfig()), phys, hier)
+	return c, phys, hier
+}
+
+func fillFrame(p *mem.Phys) mem.PFN {
+	pfn, err := p.Alloc()
+	if err != nil {
+		panic(err)
+	}
+	pg := p.Page(pfn)
+	for i := range pg {
+		pg[i] = byte(i * 7)
+	}
+	return pfn
+}
+
+func TestFetchLineFromDRAM(t *testing.T) {
+	c, phys, _ := newCtrl(4, false)
+	pfn := fillFrame(phys)
+	res := c.FetchLine(pfn, 3, 0, dram.SrcPageForge)
+	if res.FromNetwork {
+		t.Fatal("no hierarchy attached but serviced from network")
+	}
+	if !bytes.Equal(res.Data, phys.ReadLine(pfn, 3)) {
+		t.Fatal("wrong line data")
+	}
+	if res.Code != ecc.EncodeLine(res.Data) {
+		t.Fatal("ECC code mismatch")
+	}
+	if res.Latency == 0 {
+		t.Fatal("DRAM fetch with zero latency")
+	}
+	if c.Stats.PFDRAMReads != 1 || c.Stats.ECCDecodes != 1 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+	if c.DRAM.TotalBytes(dram.SrcPageForge) != 64 {
+		t.Fatal("traffic not attributed to PageForge")
+	}
+}
+
+func TestFetchLineFromNetwork(t *testing.T) {
+	c, phys, hier := newCtrl(4, true)
+	pfn := fillFrame(phys)
+	addr := uint64(pfn.LineAddr(5))
+	hier.Access(0, addr, false, cache.SrcApp) // line now cached
+	res := c.FetchLine(pfn, 5, 0, dram.SrcPageForge)
+	if !res.FromNetwork {
+		t.Fatal("cached line not serviced from the network")
+	}
+	if res.Latency != c.NetworkLatency {
+		t.Fatalf("latency = %d, want %d", res.Latency, c.NetworkLatency)
+	}
+	if c.Stats.PFNetworkHits != 1 {
+		t.Fatal("network hit not counted")
+	}
+	// The controller's encoder produced the code.
+	if res.Code != ecc.EncodeLine(res.Data) {
+		t.Fatal("encoder code mismatch")
+	}
+	if c.DRAM.TotalBytes(dram.SrcPageForge) != 0 {
+		t.Fatal("network-serviced fetch generated DRAM traffic")
+	}
+}
+
+func TestFetchLineCoalescing(t *testing.T) {
+	c, phys, _ := newCtrl(4, false)
+	pfn := fillFrame(phys)
+	first := c.FetchLine(pfn, 0, 100, dram.SrcPageForge)
+	// A second request for the same line while the first is in flight.
+	second := c.FetchLine(pfn, 0, 110, dram.SrcPageForge)
+	if c.Stats.PFCoalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1", c.Stats.PFCoalesced)
+	}
+	if second.Latency >= first.Latency {
+		t.Fatal("coalesced request did not finish with the pending one")
+	}
+	if 110+second.Latency != 100+first.Latency {
+		t.Fatal("coalesced completion time mismatch")
+	}
+	// After completion, a new fetch is a fresh DRAM access.
+	c.FetchLine(pfn, 0, 100+first.Latency+1, dram.SrcPageForge)
+	if c.Stats.PFDRAMReads != 2 {
+		t.Fatal("post-completion fetch should go to DRAM")
+	}
+}
+
+func TestDemandCoalescesWithPageForge(t *testing.T) {
+	c, phys, _ := newCtrl(4, false)
+	pfn := fillFrame(phys)
+	pf := c.FetchLine(pfn, 0, 100, dram.SrcPageForge)
+	lat := c.DemandAccess(uint64(pfn.LineAddr(0)), 110, false, dram.SrcCore)
+	if c.Stats.PFCoalesced != 1 {
+		t.Fatal("demand read did not coalesce with in-flight PageForge read")
+	}
+	if 110+lat != 100+pf.Latency {
+		t.Fatal("coalesced demand completion mismatch")
+	}
+}
+
+func TestDemandWriteEncodesECC(t *testing.T) {
+	c, _, _ := newCtrl(4, false)
+	c.DemandAccess(0, 0, true, dram.SrcCore)
+	if c.Stats.DemandWrites != 1 || c.Stats.ECCEncodes != 1 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+}
+
+func TestFaultInjectionPath(t *testing.T) {
+	c, phys, _ := newCtrl(4, false)
+	pfn := fillFrame(phys)
+	// Single-bit flip: corrected.
+	c.FaultInject = func(addr uint64, line []byte) { line[0] ^= 0x01 }
+	c.FetchLine(pfn, 0, 0, dram.SrcPageForge)
+	if c.Stats.ECCCorrected != 1 {
+		t.Fatalf("corrected = %d, want 1", c.Stats.ECCCorrected)
+	}
+	// Double-bit flip in one word: detected, uncorrectable.
+	c.FaultInject = func(addr uint64, line []byte) { line[1] ^= 0x03 }
+	c.FetchLine(pfn, 1, 1_000_000, dram.SrcPageForge)
+	if c.Stats.ECCUncorrectable != 1 {
+		t.Fatalf("uncorrectable = %d, want 1", c.Stats.ECCUncorrectable)
+	}
+}
+
+func TestPendingMapPruning(t *testing.T) {
+	c, phys, _ := newCtrl(8, false)
+	pfn := fillFrame(phys)
+	// Far more distinct line requests than the prune threshold, spread over
+	// time so earlier ones expire.
+	now := uint64(0)
+	for i := 0; i < 5000; i++ {
+		li := i % mem.LinesPerPage
+		c.FetchLine(pfn, li, now, dram.SrcPageForge)
+		now += 1_000_000
+	}
+	if len(c.pending) > 4200 {
+		t.Fatalf("pending map grew to %d entries", len(c.pending))
+	}
+}

@@ -1,0 +1,206 @@
+// Package migrate implements deduplication-aware gang migration of
+// co-located VMs (Deshpande et al., HPDC 2011), which the paper's related
+// work (§7.2) highlights as another consumer of page-sharing state: when a
+// group of VMs moves between hosts together, each distinct page crosses
+// the wire once — pages already merged by the deduplication engine are
+// free wins, and not-yet-merged duplicates are deduplicated on the fly.
+//
+// The stream format is self-contained: a header, the distinct page
+// contents, and per-VM mapping tables referencing them. Receiving rebuilds
+// the VMs on the destination hypervisor with the sharing structure intact
+// (shared pages arrive shared — the destination does not need to re-run
+// its deduplication engine to regain the memory savings).
+package migrate
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/esx"
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+const magic = 0x50464d31 // "PFM1"
+
+// Plan is the result of analyzing a gang of VMs for migration.
+type Plan struct {
+	hv  *vm.Hypervisor
+	vms []int
+
+	// distinct frames to send, in stream order.
+	frames []mem.PFN
+	// frameIndex maps a source frame to its position in frames.
+	frameIndex map[mem.PFN]int
+	// mappings, per VM in vms order: gfn -> frame position (-1: unbacked).
+	mappings [][]int32
+
+	TotalPages     int // resident guest pages across the gang
+	DistinctPages  int // pages actually transferred
+	AlreadyShared  int // avoided via existing merged (CoW) frames
+	WireDeduped    int // avoided via on-the-fly content dedup
+	BytesNaive     uint64
+	BytesDeduped   uint64
+	SharedPairings int
+}
+
+// PlanGang analyzes the VMs (by ID) for migration, deduplicating by frame
+// (existing sharing) and then by content hash (wire dedup).
+func PlanGang(hv *vm.Hypervisor, vmIDs []int) *Plan {
+	p := &Plan{hv: hv, vms: vmIDs, frameIndex: make(map[mem.PFN]int)}
+	byContent := make(map[uint64][]int) // hash -> candidate positions
+
+	for _, vid := range vmIDs {
+		v := hv.VM(vid)
+		mapping := make([]int32, v.Pages())
+		for g := vm.GFN(0); int(g) < v.Pages(); g++ {
+			pfn, ok := v.Resolve(g)
+			if !ok {
+				mapping[g] = -1
+				continue
+			}
+			p.TotalPages++
+			p.BytesNaive += mem.PageSize
+
+			// Existing sharing: the frame is already in the stream.
+			if pos, seen := p.frameIndex[pfn]; seen {
+				mapping[g] = int32(pos)
+				p.AlreadyShared++
+				continue
+			}
+			// Wire dedup: identical content under a different frame.
+			page := hv.Phys.Page(pfn)
+			h := esx.PageHash64(page)
+			matched := -1
+			for _, pos := range byContent[h] {
+				if same, _ := hv.Phys.SamePage(pfn, p.frames[pos]); same {
+					matched = pos
+					break
+				}
+			}
+			if matched >= 0 {
+				mapping[g] = int32(matched)
+				p.frameIndex[pfn] = matched
+				p.WireDeduped++
+				continue
+			}
+			pos := len(p.frames)
+			p.frames = append(p.frames, pfn)
+			p.frameIndex[pfn] = pos
+			byContent[h] = append(byContent[h], pos)
+			mapping[g] = int32(pos)
+		}
+		p.mappings = append(p.mappings, mapping)
+	}
+	p.DistinctPages = len(p.frames)
+	p.BytesDeduped = uint64(p.DistinctPages) * mem.PageSize
+	return p
+}
+
+// Reduction reports the fraction of wire bytes saved versus naive copy.
+func (p *Plan) Reduction() float64 {
+	if p.BytesNaive == 0 {
+		return 0
+	}
+	return 1 - float64(p.BytesDeduped)/float64(p.BytesNaive)
+}
+
+// Stream serializes the gang: header, distinct pages, mapping tables.
+// (Metadata overhead — 4 bytes per guest page — is negligible next to the
+// page payloads and is not counted in BytesDeduped.)
+func (p *Plan) Stream(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{magic, uint32(len(p.vms)), uint32(len(p.frames))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, pfn := range p.frames {
+		if _, err := bw.Write(p.hv.Phys.Page(pfn)); err != nil {
+			return err
+		}
+	}
+	for i := range p.vms {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.mappings[i]))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.mappings[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Receive rebuilds the gang on the destination hypervisor, preserving the
+// sharing structure: every mapping that referenced one stream page maps to
+// one (CoW-shared) frame on the destination.
+func Receive(r io.Reader, dest *vm.Hypervisor) ([]*vm.VM, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("migrate: header: %w", err)
+	}
+	if hdr[0] != magic {
+		return nil, fmt.Errorf("migrate: bad magic %#x", hdr[0])
+	}
+	numVMs, numFrames := int(hdr[1]), int(hdr[2])
+
+	pages := make([][]byte, numFrames)
+	for i := range pages {
+		pages[i] = make([]byte, mem.PageSize)
+		if _, err := io.ReadFull(br, pages[i]); err != nil {
+			return nil, fmt.Errorf("migrate: page %d: %w", i, err)
+		}
+	}
+
+	// Materialize each distinct page lazily as VMs reference it; the first
+	// referencing guest page owns the frame, later ones merge onto it.
+	framePFN := make([]mem.PFN, numFrames)
+	frameSet := make([]bool, numFrames)
+
+	var vms []*vm.VM
+	for i := 0; i < numVMs; i++ {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("migrate: vm %d mapping size: %w", i, err)
+		}
+		mapping := make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, &mapping); err != nil {
+			return nil, fmt.Errorf("migrate: vm %d mapping: %w", i, err)
+		}
+		v := dest.NewVM(uint64(n) * mem.PageSize)
+		v.Madvise(0, int(n), true)
+		for g, pos := range mapping {
+			if pos < 0 {
+				continue
+			}
+			if int(pos) >= numFrames {
+				return nil, fmt.Errorf("migrate: vm %d gfn %d references page %d/%d", i, g, pos, numFrames)
+			}
+			if !frameSet[pos] {
+				if _, err := v.Write(vm.GFN(g), 0, pages[pos]); err != nil {
+					return nil, fmt.Errorf("migrate: materialize page %d: %w", pos, err)
+				}
+				pfn, _ := v.Resolve(vm.GFN(g))
+				framePFN[pos] = pfn
+				frameSet[pos] = true
+				continue
+			}
+			// Map this guest page onto the existing frame (shared, CoW):
+			// materialize the content, then merge — the transient frame is
+			// freed by the merge, leaving one shared frame.
+			if _, err := v.Write(vm.GFN(g), 0, pages[pos]); err != nil {
+				return nil, err
+			}
+			if _, err := dest.Merge(vm.PageID{VM: v.ID, GFN: vm.GFN(g)}, framePFN[pos]); err != nil {
+				// Contents must match by construction; a mismatch is a bug.
+				return nil, fmt.Errorf("migrate: restoring sharing for page %d: %w", pos, err)
+			}
+		}
+		vms = append(vms, v)
+	}
+	return vms, nil
+}

@@ -1,0 +1,224 @@
+package migrate
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ksm"
+	"repro/internal/mem"
+	"repro/internal/tailbench"
+	"repro/internal/vm"
+)
+
+// gang builds a hypervisor with VMs whose page contents come from the
+// byte lists (0 leaves the page untouched/unbacked).
+func gang(t *testing.T, frames int, contents ...[]byte) (*vm.Hypervisor, []int) {
+	t.Helper()
+	h := vm.NewHypervisor(uint64(frames) * mem.PageSize)
+	var ids []int
+	for _, cs := range contents {
+		v := h.NewVM(uint64(len(cs)) * mem.PageSize)
+		v.Madvise(0, len(cs), true)
+		for g, c := range cs {
+			if c != 0 {
+				if _, err := v.Write(vm.GFN(g), 0, bytes.Repeat([]byte{c}, mem.PageSize)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ids = append(ids, v.ID)
+	}
+	return h, ids
+}
+
+func TestPlanDeduplicatesOnTheWire(t *testing.T) {
+	h, ids := gang(t, 64,
+		[]byte{1, 2, 3},
+		[]byte{1, 2, 4}, // 1 and 2 duplicate VM0's
+	)
+	p := PlanGang(h, ids)
+	if p.TotalPages != 6 {
+		t.Fatalf("TotalPages = %d", p.TotalPages)
+	}
+	if p.DistinctPages != 4 {
+		t.Fatalf("DistinctPages = %d, want 4 (contents 1,2,3,4)", p.DistinctPages)
+	}
+	if p.WireDeduped != 2 {
+		t.Fatalf("WireDeduped = %d, want 2", p.WireDeduped)
+	}
+	if p.AlreadyShared != 0 {
+		t.Fatalf("AlreadyShared = %d (nothing is merged yet)", p.AlreadyShared)
+	}
+	if r := p.Reduction(); r < 0.32 || r > 0.35 {
+		t.Fatalf("reduction = %.3f, want 1/3", r)
+	}
+}
+
+func TestPlanUsesExistingSharing(t *testing.T) {
+	h, ids := gang(t, 64, []byte{7, 8}, []byte{7, 9})
+	// Merge the duplicates first (the dedup engine has been running).
+	s := ksm.NewScanner(ksm.NewAlgorithm(h, ksm.JHasher{}), ksm.DefaultCosts())
+	s.RunToSteadyState(6)
+	p := PlanGang(h, ids)
+	if p.AlreadyShared != 1 {
+		t.Fatalf("AlreadyShared = %d, want 1 (merged pair)", p.AlreadyShared)
+	}
+	if p.DistinctPages != 3 {
+		t.Fatalf("DistinctPages = %d, want 3", p.DistinctPages)
+	}
+}
+
+func TestMigrationRoundTripPreservesContentsAndSharing(t *testing.T) {
+	src, ids := gang(t, 128,
+		[]byte{1, 2, 3, 1},
+		[]byte{1, 2, 5, 6},
+		[]byte{2, 2, 3, 7},
+	)
+	// Merge some of it first so both sharing paths are exercised.
+	s := ksm.NewScanner(ksm.NewAlgorithm(src, ksm.JHasher{}), ksm.DefaultCosts())
+	s.RunToSteadyState(6)
+	srcFrames := src.Phys.AllocatedFrames()
+
+	p := PlanGang(src, ids)
+	var wire bytes.Buffer
+	if err := p.Stream(&wire); err != nil {
+		t.Fatal(err)
+	}
+	// Wire size ≈ distinct pages + small metadata.
+	if wire.Len() < p.DistinctPages*mem.PageSize {
+		t.Fatal("stream smaller than its page payloads")
+	}
+	if wire.Len() > p.DistinctPages*mem.PageSize+4096 {
+		t.Fatalf("stream metadata unexpectedly large: %d bytes", wire.Len())
+	}
+
+	dest := vm.NewHypervisor(256 * mem.PageSize)
+	vms, err := Receive(&wire, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vms) != 3 {
+		t.Fatalf("received %d VMs", len(vms))
+	}
+	// Contents identical.
+	want := [][]byte{
+		{1, 2, 3, 1},
+		{1, 2, 5, 6},
+		{2, 2, 3, 7},
+	}
+	buf := make([]byte, 2)
+	for i, v := range vms {
+		for g, c := range want[i] {
+			if err := v.Read(vm.GFN(g), 100, buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf[0] != c || buf[1] != c {
+				t.Fatalf("vm%d page %d reads %v, want %d", i, g, buf, c)
+			}
+		}
+	}
+	// Sharing preserved: the destination uses exactly DistinctPages frames,
+	// which matches the (fully deduplicated) source.
+	if got := dest.Phys.AllocatedFrames(); got != p.DistinctPages {
+		t.Fatalf("dest frames = %d, want %d", got, p.DistinctPages)
+	}
+	// Note: on the source, KSM had already found every duplicate, so the
+	// frame counts agree end to end.
+	if srcFrames != p.DistinctPages {
+		t.Fatalf("source frames %d != distinct %d (KSM should have converged)",
+			srcFrames, p.DistinctPages)
+	}
+	// CoW still works on the destination: a write breaks sharing privately.
+	if _, err := vms[0].Write(0, 0, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	vms[1].Read(0, 0, buf[:1])
+	if buf[0] != 1 {
+		t.Fatal("destination sharing was not CoW")
+	}
+}
+
+func TestMigrationUnbackedPagesStayUnbacked(t *testing.T) {
+	h := vm.NewHypervisor(64 * mem.PageSize)
+	v := h.NewVM(4 * mem.PageSize)
+	v.Madvise(0, 4, true)
+	v.Write(1, 0, bytes.Repeat([]byte{3}, mem.PageSize)) // only page 1 backed
+	p := PlanGang(h, []int{v.ID})
+	if p.TotalPages != 1 || p.DistinctPages != 1 {
+		t.Fatalf("plan %+v", p)
+	}
+	var wire bytes.Buffer
+	if err := p.Stream(&wire); err != nil {
+		t.Fatal(err)
+	}
+	dest := vm.NewHypervisor(64 * mem.PageSize)
+	vms, err := Receive(&wire, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vms[0].Present(0) || vms[0].Present(2) || vms[0].Present(3) {
+		t.Fatal("unbacked pages materialized on the destination")
+	}
+	if !vms[0].Present(1) {
+		t.Fatal("backed page missing")
+	}
+}
+
+func TestReceiveRejectsGarbage(t *testing.T) {
+	dest := vm.NewHypervisor(16 * mem.PageSize)
+	if _, err := Receive(bytes.NewReader([]byte{1, 2, 3}), dest); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	bad := bytes.NewBuffer(nil)
+	bad.Write([]byte{0xEF, 0xBE, 0xAD, 0xDE, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := Receive(bad, dest); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestGangMigrationOnTailbenchImage(t *testing.T) {
+	// End to end on a realistic deployment: the wire reduction approaches
+	// the deployment's duplicate fraction even when the dedup engine never
+	// ran on the source.
+	app := *tailbench.ProfileByName("silo")
+	app.PagesPerVM = 150
+	img, err := tailbench.BuildImage(app, 6, 6*150*2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 6)
+	for i := range ids {
+		ids[i] = i
+	}
+	p := PlanGang(img.HV, ids)
+	if p.Reduction() < 0.35 {
+		t.Fatalf("wire reduction %.2f, want roughly the dup+zero fraction", p.Reduction())
+	}
+	var wire bytes.Buffer
+	if err := p.Stream(&wire); err != nil {
+		t.Fatal(err)
+	}
+	dest := vm.NewHypervisor(uint64(6*150*2) * mem.PageSize)
+	vms, err := Receive(&wire, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destination arrives pre-deduplicated.
+	if dest.Phys.AllocatedFrames() != p.DistinctPages {
+		t.Fatalf("dest frames %d != distinct %d", dest.Phys.AllocatedFrames(), p.DistinctPages)
+	}
+	// Spot-check byte equality of a few pages.
+	for _, id := range []vm.PageID{{VM: 0, GFN: 0}, {VM: 3, GFN: 50}, {VM: 5, GFN: 149}} {
+		srcPage, err := img.HV.VM(id.VM).Page(id.GFN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dstPage, err := vms[id.VM].Page(id.GFN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(srcPage, dstPage) {
+			t.Fatalf("page %v differs after migration", id)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package pageforge
+
+import (
+	"repro/internal/ksm"
+	"repro/internal/mem"
+	"repro/internal/rbtree"
+)
+
+// sentinelBase is the first Less/More value used to mark out-of-batch
+// children. The hardware treats any index >= NumOtherPages as invalid but
+// reports it in Ptr, letting the OS identify which subtree to load next.
+const sentinelBase = NumOtherPages + 1
+
+// DriverConfig tunes the OS side of PageForge.
+type DriverConfig struct {
+	// PollInterval is how often the OS checks the Scan Table (Table 5:
+	// 12,000 cycles).
+	PollInterval uint64
+	// PollCost is the core cycles one get_PFE_info check consumes.
+	PollCost uint64
+	// BatchSetupCost is the core cycles to fill the table for one batch
+	// (up to 31 insert_PPN calls plus the PFE update).
+	BatchSetupCost uint64
+	// MergeCost is the core cycles of the hypervisor remap on a merge.
+	MergeCost uint64
+	// BatchEntries caps how many Other Pages entries the driver loads per
+	// batch (0 or > NumOtherPages means the full table). Smaller values
+	// model a cheaper Scan Table (§4's design-space discussion).
+	BatchEntries int
+}
+
+// DefaultDriverConfig follows Table 5.
+func DefaultDriverConfig() DriverConfig {
+	return DriverConfig{
+		PollInterval:   12_000,
+		PollCost:       60,
+		BatchSetupCost: 250,
+		MergeCost:      3_000,
+	}
+}
+
+// batchEntries resolves the configured batch size.
+func (c DriverConfig) batchEntries() int {
+	if c.BatchEntries <= 0 || c.BatchEntries > NumOtherPages {
+		return NumOtherPages
+	}
+	return c.BatchEntries
+}
+
+// Driver is the OS/hypervisor side of PageForge: it implements the KSM
+// algorithm (Section 3.4) but delegates page comparison, tree traversal,
+// and hash-key generation to the hardware engine. Its own core-cycle
+// consumption — the overhead the paper shows to be minimal — is tracked in
+// CoreCycles.
+type Driver struct {
+	Alg *ksm.Algorithm
+	HW  *Engine
+	Cfg DriverConfig
+
+	// CoreCycles is the total processor time consumed by the driver
+	// (polls, table refills, merge bookkeeping).
+	CoreCycles uint64
+	// Batches counts Scan Table loads; Polls counts get_PFE_info checks.
+	Batches uint64
+	Polls   uint64
+}
+
+// NewDriver builds a driver over shared KSM algorithm state and a hardware
+// engine. The Algorithm's Hasher is unused on this path (the hardware
+// generates ECC keys); pass ksm.JHasher{} or ECCHasher as placeholder.
+func NewDriver(alg *ksm.Algorithm, hw *Engine, cfg DriverConfig) *Driver {
+	return &Driver{Alg: alg, HW: hw, Cfg: cfg}
+}
+
+// searchResult is the outcome of one hardware tree search.
+type searchResult struct {
+	match *rbtree.Node // non-nil when the hardware found a duplicate
+	now   uint64       // wall-clock cycle after the search completed
+}
+
+// loadBatch fills the Scan Table with the BFS expansion of the subtree at
+// root and returns the sentinel mapping for out-of-batch children, plus
+// whether the whole subtree fit (no sentinels ⇒ this batch can be final).
+func (d *Driver) loadBatch(root *rbtree.Node) (batch []*rbtree.Node, sentinels map[int]*rbtree.Node) {
+	batch = rbtree.BFS(root, d.Cfg.batchEntries())
+	pos := make(map[*rbtree.Node]int, len(batch))
+	for i, n := range batch {
+		pos[n] = i
+	}
+	sentinels = make(map[int]*rbtree.Node)
+	next := sentinelBase
+	link := func(child *rbtree.Node) int {
+		if child == nil {
+			return InvalidIndex
+		}
+		if i, ok := pos[child]; ok {
+			return i
+		}
+		sentinels[next] = child
+		next++
+		return next - 1
+	}
+	for i, n := range batch {
+		d.HW.InsertPPN(i, n.PFN, link(n.Left()), link(n.Right()))
+	}
+	d.Batches++
+	d.CoreCycles += d.Cfg.BatchSetupCost
+	return batch, sentinels
+}
+
+// runBatch triggers the hardware and polls until Scanned, advancing the
+// wall clock in PollInterval steps (the OS checks the table periodically;
+// Table 5 shows the batch is typically done by the first check).
+func (d *Driver) runBatch(now uint64) (PFEInfo, uint64) {
+	d.HW.Trigger(now)
+	for {
+		now += d.Cfg.PollInterval
+		d.Polls++
+		d.CoreCycles += d.Cfg.PollCost
+		info := d.HW.GetPFEInfo(now)
+		if info.Scanned {
+			return info, now
+		}
+	}
+}
+
+// searchTree drives the hardware search of one red-black tree. first marks
+// the first batch for this candidate (insert_PFE resets the background
+// hash); finishKey marks the search during which the hash key must
+// complete (the stable-tree search per Section 3.4).
+func (d *Driver) searchTree(cand mem.PFN, root *rbtree.Node, now uint64, first, finishKey bool) (searchResult, bool) {
+	node := root
+	for node != nil {
+		batch, sentinels := d.loadBatch(node)
+		last := finishKey && len(sentinels) == 0
+		if first {
+			d.HW.InsertPFE(cand, last, 0)
+			first = false
+		} else {
+			d.HW.UpdatePFE(last, 0)
+		}
+		info, t := d.runBatch(now)
+		now = t
+		if info.Duplicate {
+			if info.Ptr < 0 || info.Ptr >= len(batch) {
+				panic("pageforge: hardware reported duplicate at invalid Ptr")
+			}
+			return searchResult{match: batch[info.Ptr], now: now}, false
+		}
+		if child, ok := sentinels[info.Ptr]; ok {
+			node = child // traversal left the table: continue in that subtree
+			continue
+		}
+		break // genuine leaf edge: not in this tree
+	}
+	if node == nil && root == nil && first {
+		// Empty tree and the PFE was never inserted: insert it so the hash
+		// machinery has a candidate to work on.
+		d.HW.InsertPFE(cand, false, InvalidIndex)
+	}
+	// Key must be finished even if the search ended early or the tree was
+	// empty: one empty reload with Last Refill forces it (Section 3.3.1).
+	if finishKey && !d.HW.GetPFEInfo(now).HashReady {
+		d.HW.UpdatePFE(true, InvalidIndex)
+		_, t := d.runBatch(now)
+		now = t
+	}
+	return searchResult{now: now}, true
+}
+
+// verifyMatch re-runs the comparison of candidate and match in hardware
+// after both pages have been write-protected — the algorithm's "second
+// comparison ... to protect against racing writes" — using a single-entry
+// Scan Table batch. It reports whether the pages are still identical.
+func (d *Driver) verifyMatch(cand, match mem.PFN, now uint64) (bool, uint64) {
+	d.Alg.HV.WriteProtect(cand)
+	d.Alg.HV.WriteProtect(match)
+	d.HW.InsertPPN(0, match, InvalidIndex, InvalidIndex)
+	d.HW.UpdatePFE(false, 0)
+	info, t := d.runBatch(now)
+	if !info.Duplicate {
+		// Raced: the candidate is not being merged, so it must become
+		// writable again (the match keeps its protection, as in software
+		// KSM's abort path).
+		d.Alg.HV.Unprotect(cand)
+	}
+	return info.Duplicate, t
+}
+
+// ScanOne processes one candidate page, mirroring ksm.Scanner.ScanOne but
+// with every comparison and hash executed by the hardware. It returns the
+// wall-clock cycle when the candidate is finished.
+func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
+	a := d.Alg
+	id, passEnded, ok := a.NextCandidate()
+	if !ok {
+		return false, now, false
+	}
+	if passEnded {
+		defer a.EndPass()
+	}
+	a.Stats.PagesScanned++
+	d.CoreCycles += d.Cfg.PollCost // candidate selection bookkeeping
+
+	if a.SkipCandidate(id) {
+		return false, now, true
+	}
+	if a.SmartSkip(id) {
+		return false, now, true
+	}
+	pfn, okr := a.HV.Resolve(id)
+	if !okr {
+		return false, now, true
+	}
+
+	first := true
+	if a.Options().UseZeroPages {
+		// Compare against the dedicated zero frame first, in hardware: one
+		// single-entry batch. Its candidate-line fetches already feed the
+		// background ECC key.
+		if zf, err := a.ZeroFramePFN(); err == nil && zf != pfn {
+			d.HW.InsertPPN(0, zf, InvalidIndex, InvalidIndex)
+			d.HW.InsertPFE(pfn, false, 0)
+			first = false
+			info, t := d.runBatch(now)
+			now = t
+			if info.Duplicate && a.MergeWithZeroFrame(id) {
+				d.CoreCycles += d.Cfg.MergeCost
+				return true, now, true
+			}
+		}
+	}
+
+	// Stable-tree search in hardware; the ECC hash key is generated in the
+	// background during this search.
+	res, notFound := d.searchTree(pfn, a.Stable.Root(), now, first, true)
+	now = res.now
+	if !notFound && res.match.PFN != pfn {
+		same, t := d.verifyMatch(pfn, res.match.PFN, now)
+		now = t
+		if !same {
+			a.Stats.FailedMerges++
+			return false, now, true
+		}
+		if _, mok := a.MergeIntoStable(id, res.match); mok {
+			d.CoreCycles += d.Cfg.MergeCost
+			return true, now, true
+		}
+		return false, now, true
+	}
+
+	// Not in the stable tree: compare the hardware-generated key with the
+	// previous pass's key.
+	info := d.HW.GetPFEInfo(now)
+	if !info.HashReady {
+		panic("pageforge: hash key not ready after stable search")
+	}
+	if changed := a.RecordHash(id, info.Hash); changed {
+		return false, now, true
+	}
+
+	// Unstable-tree search in hardware.
+	res, notFound = d.searchTree(pfn, a.Unstable.Root(), now, false, false)
+	now = res.now
+	if !notFound {
+		if !a.ValidUnstableMatch(res.match) {
+			a.Stats.StaleUnstable++
+			return false, now, true
+		}
+		same, t := d.verifyMatch(pfn, res.match.PFN, now)
+		now = t
+		if !same {
+			a.Stats.FailedMerges++
+			return false, now, true
+		}
+		if _, mok := a.MergeWithUnstable(id, res.match); mok {
+			d.CoreCycles += d.Cfg.MergeCost
+			return true, now, true
+		}
+		return false, now, true
+	}
+	a.UnstableInsert(id)
+	return false, now, true
+}
+
+// ScanBatch processes up to n candidates starting at cycle now — one work
+// interval of pages_to_scan pages. It returns the number merged and the
+// cycle at which the interval's work completed.
+func (d *Driver) ScanBatch(n int, now uint64) (scanned, mergedCount int, doneAt uint64) {
+	for i := 0; i < n; i++ {
+		merged, t, ok := d.ScanOne(now)
+		if !ok {
+			break
+		}
+		now = t
+		scanned++
+		if merged {
+			mergedCount++
+		}
+	}
+	return scanned, mergedCount, now
+}
+
+// RunToSteadyState drives full passes until a pass completes no new merges
+// (or maxPasses), mirroring ksm.Scanner.RunToSteadyState.
+func (d *Driver) RunToSteadyState(maxPasses int) int {
+	now := uint64(0)
+	for p := 0; p < maxPasses; p++ {
+		mergesBefore := d.Alg.Stats.StableMerges + d.Alg.Stats.UnstableMerges
+		pages := d.Alg.MergeablePages()
+		if pages == 0 {
+			return p
+		}
+		for i := 0; i < pages; i++ {
+			_, t, ok := d.ScanOne(now)
+			if !ok {
+				return p
+			}
+			now = t
+		}
+		if d.Alg.Stats.StableMerges+d.Alg.Stats.UnstableMerges == mergesBefore && p > 0 {
+			return p + 1
+		}
+	}
+	return maxPasses
+}

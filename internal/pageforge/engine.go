@@ -1,0 +1,204 @@
+package pageforge
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/mem"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+// CompareCycles is the ALU time to compare one 64B line pair already
+// buffered in the module (the 64-bit comparator walks eight words).
+const CompareCycles = 8
+
+// LineFetcher is the service the hosting memory controller provides to the
+// module. *memctrl.Controller implements it; the platform's multi-controller
+// router does too (PageForge requests to pages homed on the other
+// controller cross the interconnect, Section 4.1).
+type LineFetcher interface {
+	FetchLine(pfn mem.PFN, lineIdx int, now uint64, src dram.Source) memctrl.FetchResult
+}
+
+// Engine is the PageForge hardware module inside one memory controller.
+// The OS drives it exclusively through the Table 1 API (InsertPPN,
+// InsertPFE, UpdatePFE, GetPFEInfo, UpdateECCOffset) plus Trigger.
+type Engine struct {
+	MC      LineFetcher
+	Table   ScanTable
+	offsets ecc.KeyOffsets
+	keyAsm  *ecc.KeyAssembler
+
+	busy bool
+	// doneAt is the cycle at which the current batch finishes processing;
+	// the OS's periodic GetPFEInfo polls before that time see stale
+	// (not-Scanned) state, just like real asynchronous hardware.
+	doneAt uint64
+
+	// Statistics.
+	BatchCycles   sim.Online // per-batch processing time (Table 5)
+	LinesFetched  uint64
+	PagesCompared uint64
+	Duplicates    uint64
+	KeysGenerated uint64
+	BusyCycles    uint64
+}
+
+// NewEngine builds a PageForge module attached to a memory controller.
+func NewEngine(mc LineFetcher) *Engine {
+	return &Engine{
+		MC:      mc,
+		offsets: ecc.DefaultKeyOffsets,
+		keyAsm:  ecc.NewKeyAssembler(ecc.DefaultKeyOffsets),
+	}
+}
+
+// --- Table 1 software interface -----------------------------------------
+
+// InsertPPN fills an Other Pages entry (function insert_PPN).
+func (e *Engine) InsertPPN(index int, ppn mem.PFN, less, more int) {
+	if index < 0 || index >= NumOtherPages {
+		panic(fmt.Sprintf("pageforge: insert_PPN index %d out of range", index))
+	}
+	e.Table.Other[index] = OtherPage{Valid: true, PPN: ppn, Less: less, More: more}
+}
+
+// InsertPFE fills the PFE entry for a new candidate page (insert_PFE).
+// Starting a new candidate resets the hash assembler: the key is generated
+// in the background across this candidate's batches.
+func (e *Engine) InsertPFE(ppn mem.PFN, lastRefill bool, ptr int) {
+	e.Table.PFE = PFE{Valid: true, PPN: ppn, LastRefill: lastRefill, Ptr: ptr}
+	e.keyAsm.Reset()
+}
+
+// UpdatePFE re-arms the PFE for another batch against the same candidate
+// (update_PFE): new Ptr, new Last Refill flag, status bits cleared. The
+// partially-built hash key is preserved.
+func (e *Engine) UpdatePFE(lastRefill bool, ptr int) {
+	p := &e.Table.PFE
+	p.LastRefill = lastRefill
+	p.Ptr = ptr
+	p.Scanned = false
+	p.Duplicate = false
+}
+
+// GetPFEInfo reports the hash key, Ptr, and the S/D/H bits (get_PFE_info)
+// as visible at cycle now. While the hardware is still processing, the OS
+// sees Scanned=false and polls again later.
+func (e *Engine) GetPFEInfo(now uint64) PFEInfo {
+	if e.busy && now >= e.doneAt {
+		e.busy = false
+	}
+	if e.busy {
+		return PFEInfo{Ptr: e.Table.PFE.Ptr} // in-flight: status bits unset
+	}
+	p := e.Table.PFE
+	return PFEInfo{Hash: p.Hash, Ptr: p.Ptr, Scanned: p.Scanned, Duplicate: p.Duplicate, HashReady: p.HashReady}
+}
+
+// UpdateECCOffset reconfigures which line in each 1KB section feeds the
+// hash key (update_ECC_offset). Offsets are rarely changed and take effect
+// for subsequent candidates.
+func (e *Engine) UpdateECCOffset(offsets ecc.KeyOffsets) error {
+	if err := offsets.Validate(); err != nil {
+		return err
+	}
+	e.offsets = offsets
+	e.keyAsm = ecc.NewKeyAssembler(offsets)
+	return nil
+}
+
+// Offsets reports the active hash-key offsets.
+func (e *Engine) Offsets() ecc.KeyOffsets { return e.offsets }
+
+// Busy reports whether a batch is still processing at cycle now.
+func (e *Engine) Busy(now uint64) bool { return e.busy && now < e.doneAt }
+
+// DoneAt reports when the current batch completes (valid while busy).
+func (e *Engine) DoneAt() uint64 { return e.doneAt }
+
+// --- The comparison state machine ----------------------------------------
+
+// Trigger starts processing the Scan Table at cycle now. The model runs the
+// whole batch eagerly, computing the cycle at which the hardware would
+// finish; status bits become visible to GetPFEInfo only at that time.
+// It panics if triggered while busy or without a valid PFE — both are
+// driver bugs, not recoverable hardware states.
+func (e *Engine) Trigger(now uint64) {
+	if e.Busy(now) {
+		panic("pageforge: Trigger while busy")
+	}
+	p := &e.Table.PFE
+	if !p.Valid {
+		panic("pageforge: Trigger without insert_PFE")
+	}
+	clock := now
+
+	// Walk the table from Ptr, comparing the candidate page line-by-line
+	// in lockstep with each table page.
+	for e.Table.inTable(p.Ptr) {
+		entry := e.Table.Other[p.Ptr]
+		cmp := e.comparePages(p.PPN, entry.PPN, &clock)
+		e.PagesCompared++
+		if cmp == 0 {
+			p.Duplicate = true
+			e.Duplicates++
+			break
+		}
+		if cmp < 0 {
+			p.Ptr = entry.Less
+		} else {
+			p.Ptr = entry.More
+		}
+	}
+	p.Scanned = true
+
+	// The last batch (Last Refill set, or a duplicate found) forces the
+	// hash key to completion (Section 3.3.1).
+	if (p.LastRefill || p.Duplicate) && !p.HashReady {
+		for _, li := range e.keyAsm.Missing() {
+			res := e.MC.FetchLine(p.PPN, li, clock, dram.SrcPageForge)
+			e.LinesFetched++
+			e.keyAsm.Observe(li, res.Code)
+			clock += res.Latency
+		}
+	}
+	if e.keyAsm.Ready() && !p.HashReady {
+		p.Hash = e.keyAsm.Key()
+		p.HashReady = true
+		e.KeysGenerated++
+	}
+
+	e.busy = true
+	e.doneAt = clock
+	spent := clock - now
+	e.BusyCycles += spent
+	e.BatchCycles.Add(float64(spent))
+}
+
+// comparePages compares the candidate with one table page line-by-line in
+// lockstep, advancing the hardware clock with each fetched pair, snatching
+// candidate-line ECC codes for the background hash key, and stopping at
+// the first divergent line.
+func (e *Engine) comparePages(cand, other mem.PFN, clock *uint64) int {
+	for li := 0; li < mem.LinesPerPage; li++ {
+		// The offset is computed once and reused for both pages; the two
+		// line reads are issued together.
+		resA := e.MC.FetchLine(cand, li, *clock, dram.SrcPageForge)
+		resB := e.MC.FetchLine(other, li, *clock, dram.SrcPageForge)
+		e.LinesFetched += 2
+		e.keyAsm.Observe(li, resA.Code)
+		lat := resA.Latency
+		if resB.Latency > lat {
+			lat = resB.Latency
+		}
+		*clock += lat + CompareCycles
+		if c := bytes.Compare(resA.Data, resB.Data); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

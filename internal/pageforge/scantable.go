@@ -1,0 +1,82 @@
+// Package pageforge implements the paper's primary contribution: the
+// PageForge hardware module placed in one memory controller, consisting of
+// the Scan Table (one PFE entry plus 31 Other Pages entries), the pairwise
+// page-comparison state machine, background ECC-based hash-key generation,
+// and the five-function software interface of Table 1. An OS driver that
+// runs the KSM algorithm on top of the hardware (Section 3.4) lives in
+// driver.go.
+package pageforge
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// NumOtherPages is the number of Other Pages entries in the Scan Table
+// (Table 2: 31 Other Pages + 1 PFE, ~260B of state).
+const NumOtherPages = 31
+
+// InvalidIndex marks a Less/More pointer with no in-table target. Values in
+// [NumOtherPages, 256) act as software-defined sentinels: the hardware
+// treats them all as invalid, but reports them in Ptr so the OS can tell
+// *where* the traversal left the table (which subtree to load next).
+const InvalidIndex = -1
+
+// OtherPage is one Scan Table comparison entry: a page to compare with the
+// candidate and the two successor indices.
+type OtherPage struct {
+	Valid bool
+	PPN   mem.PFN
+	// Less is the next entry when the candidate's data is smaller than
+	// this page's; More when it is larger.
+	Less int
+	More int
+}
+
+// PFE is the PageForge Entry describing the candidate page and the
+// hardware status bits.
+type PFE struct {
+	Valid bool
+	PPN   mem.PFN
+	Hash  uint32
+	Ptr   int
+	// Status/control bits: Scanned (S), Duplicate (D), Hash Key Ready (H),
+	// Last Refill (L).
+	Scanned    bool
+	Duplicate  bool
+	HashReady  bool
+	LastRefill bool
+}
+
+// ScanTable is the hardware table the OS fills through the API.
+type ScanTable struct {
+	PFE   PFE
+	Other [NumOtherPages]OtherPage
+}
+
+// Reset invalidates every entry.
+func (t *ScanTable) Reset() {
+	t.PFE = PFE{}
+	for i := range t.Other {
+		t.Other[i] = OtherPage{}
+	}
+}
+
+// inTable reports whether idx addresses a valid Other Pages entry.
+func (t *ScanTable) inTable(idx int) bool {
+	return idx >= 0 && idx < NumOtherPages && t.Other[idx].Valid
+}
+
+// PFEInfo is what get_PFE_info returns to the OS.
+type PFEInfo struct {
+	Hash      uint32
+	Ptr       int
+	Scanned   bool
+	Duplicate bool
+	HashReady bool
+}
+
+func (i PFEInfo) String() string {
+	return fmt.Sprintf("hash=%#x ptr=%d S=%v D=%v H=%v", i.Hash, i.Ptr, i.Scanned, i.Duplicate, i.HashReady)
+}

@@ -1,0 +1,183 @@
+// Package placement implements Memory Buddies-style sharing-aware VM
+// colocation (Wood et al., VEE 2009), the paper's §7.2: each VM's memory
+// is fingerprinted with a Bloom filter of page-content hashes; the sharing
+// potential of two VMs is estimated from their filters without comparing a
+// single page; and a greedy packer colocates the VMs that would
+// deduplicate best together — which is what decides how much memory a
+// PageForge-equipped host actually recovers.
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/esx"
+	"repro/internal/vm"
+)
+
+// Fingerprint is a Bloom-filter summary of one VM's page contents.
+type Fingerprint struct {
+	VMID  int
+	Pages int // resident pages fingerprinted
+
+	bits   []uint64
+	m      uint64 // filter size in bits
+	k      int    // hash functions
+	setCnt int    // cached popcount
+}
+
+// NewFingerprint allocates an empty filter of m bits with k hashes.
+// m must be a multiple of 64.
+func NewFingerprint(vmID int, m uint64, k int) *Fingerprint {
+	if m == 0 || m%64 != 0 || k < 1 {
+		panic(fmt.Sprintf("placement: bad filter geometry m=%d k=%d", m, k))
+	}
+	return &Fingerprint{VMID: vmID, bits: make([]uint64, m/64), m: m, k: k}
+}
+
+// add inserts a page-content hash.
+func (f *Fingerprint) add(h uint64) {
+	h1, h2 := uint32(h), uint32(h>>32)
+	for i := 0; i < f.k; i++ {
+		// Kirsch-Mitzenmacher double hashing.
+		pos := (uint64(h1) + uint64(i)*uint64(h2|1)) % f.m
+		word, bit := pos/64, pos%64
+		if f.bits[word]&(1<<bit) == 0 {
+			f.bits[word] |= 1 << bit
+			f.setCnt++
+		}
+	}
+}
+
+// contains is used by tests; Bloom filters have no false negatives.
+func (f *Fingerprint) contains(h uint64) bool {
+	h1, h2 := uint32(h), uint32(h>>32)
+	for i := 0; i < f.k; i++ {
+		pos := (uint64(h1) + uint64(i)*uint64(h2|1)) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// cardinality estimates how many distinct items a filter with t set bits
+// holds: n ≈ -(m/k) ln(1 - t/m).
+func cardinality(m uint64, k int, setBits int) float64 {
+	t := float64(setBits)
+	fm := float64(m)
+	if t >= fm {
+		t = fm - 1
+	}
+	return -fm / float64(k) * math.Log(1-t/fm)
+}
+
+// FingerprintVM summarizes a VM's resident mergeable pages.
+func FingerprintVM(hv *vm.Hypervisor, vmID int, m uint64, k int) *Fingerprint {
+	f := NewFingerprint(vmID, m, k)
+	v := hv.VM(vmID)
+	for g := vm.GFN(0); int(g) < v.Pages(); g++ {
+		if !v.Mergeable(g) {
+			continue
+		}
+		pfn, ok := v.Resolve(g)
+		if !ok {
+			continue
+		}
+		f.add(esx.PageHash64(hv.Phys.Page(pfn)))
+		f.Pages++
+	}
+	return f
+}
+
+// EstimateSharedDistinct estimates the number of *distinct page contents*
+// two VMs have in common: |A∩B| ≈ n(A) + n(B) − n(A∪B), each term from the
+// filter-cardinality formula.
+func EstimateSharedDistinct(a, b *Fingerprint) float64 {
+	if a.m != b.m || a.k != b.k {
+		panic("placement: incompatible fingerprints")
+	}
+	unionBits := 0
+	for i := range a.bits {
+		unionBits += bits.OnesCount64(a.bits[i] | b.bits[i])
+	}
+	na := cardinality(a.m, a.k, a.setCnt)
+	nb := cardinality(b.m, b.k, b.setCnt)
+	nu := cardinality(a.m, a.k, unionBits)
+	est := na + nb - nu
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// ExactSharedDistinct counts the ground truth (distinct contents present
+// in both VMs) for validating the estimator.
+func ExactSharedDistinct(hv *vm.Hypervisor, aID, bID int) int {
+	seen := map[uint64]bool{}
+	va := hv.VM(aID)
+	for g := vm.GFN(0); int(g) < va.Pages(); g++ {
+		if pfn, ok := va.Resolve(g); ok && va.Mergeable(g) {
+			seen[esx.PageHash64(hv.Phys.Page(pfn))] = true
+		}
+	}
+	shared := map[uint64]bool{}
+	vb := hv.VM(bID)
+	for g := vm.GFN(0); int(g) < vb.Pages(); g++ {
+		if pfn, ok := vb.Resolve(g); ok && vb.Mergeable(g) {
+			if h := esx.PageHash64(hv.Phys.Page(pfn)); seen[h] {
+				shared[h] = true
+			}
+		}
+	}
+	return len(shared)
+}
+
+// Assignment maps host index -> VM IDs placed there.
+type Assignment [][]int
+
+// Colocate packs the fingerprinted VMs onto hosts of the given capacity
+// (VMs per host), greedily adding to each host the VM with the highest
+// estimated sharing against the host's current occupants.
+func Colocate(fps []*Fingerprint, perHost int) Assignment {
+	if perHost < 1 {
+		panic("placement: perHost must be >= 1")
+	}
+	remaining := append([]*Fingerprint(nil), fps...)
+	// Deterministic seed order: largest VM first.
+	sort.Slice(remaining, func(i, j int) bool {
+		if remaining[i].Pages != remaining[j].Pages {
+			return remaining[i].Pages > remaining[j].Pages
+		}
+		return remaining[i].VMID < remaining[j].VMID
+	})
+	var hosts Assignment
+	for len(remaining) > 0 {
+		// Seed a host with the biggest remaining VM.
+		host := []*Fingerprint{remaining[0]}
+		remaining = remaining[1:]
+		for len(host) < perHost && len(remaining) > 0 {
+			best, bestScore := 0, -1.0
+			for i, cand := range remaining {
+				score := 0.0
+				for _, placed := range host {
+					score += EstimateSharedDistinct(placed, cand)
+				}
+				if score > bestScore {
+					best, bestScore = i, score
+				}
+			}
+			host = append(host, remaining[best])
+			remaining = append(remaining[:best], remaining[best+1:]...)
+		}
+		ids := make([]int, len(host))
+		for i, f := range host {
+			ids[i] = f.VMID
+		}
+		sort.Ints(ids)
+		hosts = append(hosts, ids)
+	}
+	return hosts
+}

@@ -1,0 +1,218 @@
+package placement
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tailbench"
+	"repro/internal/vm"
+)
+
+// build creates VMs whose pages carry the given content ids.
+func build(t *testing.T, frames int, contents ...[]int) *vm.Hypervisor {
+	t.Helper()
+	h := vm.NewHypervisor(uint64(frames) * mem.PageSize)
+	page := make([]byte, mem.PageSize)
+	for _, cs := range contents {
+		v := h.NewVM(uint64(len(cs)) * mem.PageSize)
+		v.Madvise(0, len(cs), true)
+		for g, c := range cs {
+			for i := range page {
+				page[i] = byte(c + i%7)
+			}
+			page[0] = byte(c)
+			page[1] = byte(c >> 8)
+			if _, err := v.Write(vm.GFN(g), 0, page); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return h
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := NewFingerprint(0, 1<<12, 4)
+	r := sim.NewRNG(1)
+	var hs []uint64
+	for i := 0; i < 200; i++ {
+		h := r.Uint64()
+		hs = append(hs, h)
+		f.add(h)
+	}
+	for _, h := range hs {
+		if !f.contains(h) {
+			t.Fatal("false negative")
+		}
+	}
+}
+
+func TestEstimatorTracksExactSharing(t *testing.T) {
+	// VM0 and VM1 share 30 of 50 contents; VM2 shares nothing.
+	mk := func(base, n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = base + i
+		}
+		return out
+	}
+	a := mk(1000, 50)
+	b := append(mk(1000, 30), mk(5000, 20)...)
+	c := mk(9000, 50)
+	h := build(t, 512, a, b, c)
+
+	fps := []*Fingerprint{
+		FingerprintVM(h, 0, 1<<14, 4),
+		FingerprintVM(h, 1, 1<<14, 4),
+		FingerprintVM(h, 2, 1<<14, 4),
+	}
+	estAB := EstimateSharedDistinct(fps[0], fps[1])
+	exactAB := float64(ExactSharedDistinct(h, 0, 1))
+	if math.Abs(estAB-exactAB) > 0.2*exactAB+3 {
+		t.Fatalf("estimate %g vs exact %g", estAB, exactAB)
+	}
+	estAC := EstimateSharedDistinct(fps[0], fps[2])
+	if estAC > 5 {
+		t.Fatalf("disjoint VMs estimated to share %g pages", estAC)
+	}
+}
+
+func TestColocateGroupsByAppImage(t *testing.T) {
+	// Six VMs: 0,1,2 run app X (identical library pages), 3,4,5 app Y.
+	mk := func(base int) []int {
+		out := make([]int, 40)
+		for i := range out {
+			out[i] = base + i
+		}
+		return out
+	}
+	h := build(t, 1024, mk(100), mk(100), mk(100), mk(700), mk(700), mk(700))
+	var fps []*Fingerprint
+	for i := 0; i < 6; i++ {
+		fps = append(fps, FingerprintVM(h, i, 1<<14, 4))
+	}
+	hosts := Colocate(fps, 3)
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	// Each host must hold one whole app group.
+	for _, host := range hosts {
+		base := host[0] / 3
+		for _, id := range host {
+			if id/3 != base {
+				t.Fatalf("mixed placement: %v", hosts)
+			}
+		}
+	}
+}
+
+func TestColocateOnTailbenchImages(t *testing.T) {
+	// Two different application deployments in one pool: the packer should
+	// pair same-app VMs (their library pages are identical).
+	appA := *tailbench.ProfileByName("img_dnn")
+	appA.PagesPerVM = 120
+	appB := *tailbench.ProfileByName("silo")
+	appB.PagesPerVM = 120
+
+	// Build a pool hypervisor manually: 2 VMs of each app's image, by
+	// copying the images' page contents into fresh VMs of one hypervisor.
+	imgA, err := tailbench.BuildImage(appA, 2, 2*120*2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgB, err := tailbench.BuildImage(appB, 2, 2*120*2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := vm.NewHypervisor(4 * 120 * 2 * mem.PageSize)
+	copyVM := func(src *vm.Hypervisor, id int) {
+		v := pool.NewVM(120 * mem.PageSize)
+		v.Madvise(0, 120, true)
+		for g := vm.GFN(0); g < 120; g++ {
+			if pfn, ok := src.VM(id).Resolve(g); ok {
+				if _, err := v.Write(g, 0, src.Phys.Page(pfn)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	copyVM(imgA.HV, 0) // pool VM 0: app A
+	copyVM(imgB.HV, 0) // pool VM 1: app B
+	copyVM(imgA.HV, 1) // pool VM 2: app A
+	copyVM(imgB.HV, 1) // pool VM 3: app B
+
+	var fps []*Fingerprint
+	for i := 0; i < 4; i++ {
+		fps = append(fps, FingerprintVM(pool, i, 1<<15, 4))
+	}
+	hosts := Colocate(fps, 2)
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	for _, host := range hosts {
+		if (host[0]%2 == 0) != (host[1]%2 == 0) {
+			t.Fatalf("sharing-oblivious placement: %v", hosts)
+		}
+	}
+}
+
+func TestColocateHandlesOddCounts(t *testing.T) {
+	h := build(t, 256, []int{1}, []int{2}, []int{3})
+	var fps []*Fingerprint
+	for i := 0; i < 3; i++ {
+		fps = append(fps, FingerprintVM(h, i, 1<<10, 3))
+	}
+	hosts := Colocate(fps, 2)
+	total := 0
+	for _, host := range hosts {
+		total += len(host)
+		if len(host) > 2 {
+			t.Fatalf("host over capacity: %v", hosts)
+		}
+	}
+	if total != 3 {
+		t.Fatalf("VMs lost: %v", hosts)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewFingerprint(0, 100, 4) }, // not multiple of 64
+		func() { NewFingerprint(0, 0, 4) },
+		func() { NewFingerprint(0, 128, 0) },
+		func() { Colocate(nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad input accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIncompatibleFingerprintsPanic(t *testing.T) {
+	a := NewFingerprint(0, 128, 2)
+	b := NewFingerprint(1, 256, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incompatible filters accepted")
+		}
+	}()
+	EstimateSharedDistinct(a, b)
+}
+
+func TestFingerprintSkipsUnbacked(t *testing.T) {
+	h := vm.NewHypervisor(16 * mem.PageSize)
+	v := h.NewVM(4 * mem.PageSize)
+	v.Madvise(0, 4, true)
+	v.Write(0, 0, bytes.Repeat([]byte{1}, mem.PageSize))
+	f := FingerprintVM(h, 0, 1<<10, 3)
+	if f.Pages != 1 {
+		t.Fatalf("Pages = %d, want 1", f.Pages)
+	}
+}

@@ -1,0 +1,164 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/tailbench"
+)
+
+// fastConfig shrinks the machine for quick tests while preserving shape.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ConvergePasses = 10
+	cfg.MeasureIntervals = 8
+	cfg.PagesToScan = 200
+	return cfg
+}
+
+// fastApp shrinks the per-VM image.
+func fastApp(name string) tailbench.Profile {
+	p := *tailbench.ProfileByName(name)
+	p.PagesPerVM = 300
+	return p
+}
+
+func TestRunBaseline(t *testing.T) {
+	res, err := Run(Baseline, fastApp("img_dnn"), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BurstMean != 0 {
+		t.Fatalf("baseline has bursts: %g", res.BurstMean)
+	}
+	if res.Footprint.Savings() != 0 {
+		t.Fatalf("baseline shows savings: %g", res.Footprint.Savings())
+	}
+	if res.AvgDemandLatency <= 0 {
+		t.Fatal("no demand latency measured")
+	}
+	if res.L3MissRate <= 0 || res.L3MissRate >= 1 {
+		t.Fatalf("L3 miss rate %g out of range", res.L3MissRate)
+	}
+	if res.DedupGBps != 0 {
+		t.Fatalf("baseline has dedup bandwidth: %g", res.DedupGBps)
+	}
+}
+
+func TestRunKSMShape(t *testing.T) {
+	cfg := fastConfig()
+	app := fastApp("img_dnn")
+	base, err := Run(Baseline, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(KSM, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory savings in a plausible band around the paper's 48%.
+	if s := res.Footprint.Savings(); s < 0.30 || s > 0.65 {
+		t.Fatalf("KSM savings = %.2f", s)
+	}
+	// The kthread steals real core time every interval.
+	if res.BurstMean <= 0 {
+		t.Fatal("no KSM bursts measured")
+	}
+	share := res.BurstMean / float64(cfg.IntervalCycles())
+	if share < 0.05 || share > 1.0 {
+		t.Fatalf("KSM busy share of one core = %.2f", share)
+	}
+	// Pollution: L3 miss rate above baseline.
+	if res.L3MissRate <= base.L3MissRate {
+		t.Fatalf("KSM L3 miss %.3f not above baseline %.3f", res.L3MissRate, base.L3MissRate)
+	}
+	// Demand latency degraded.
+	if res.AvgDemandLatency <= base.AvgDemandLatency {
+		t.Fatal("KSM did not degrade demand latency")
+	}
+	// Dedup traffic visible in the bandwidth accounting.
+	if res.DedupGBps <= 0 {
+		t.Fatal("no dedup bandwidth measured")
+	}
+	// Cycle breakdown populated with comparison-dominated work.
+	if res.KSMBreakdown.Compare == 0 || res.KSMBreakdown.Hash == 0 {
+		t.Fatalf("KSM breakdown %+v", res.KSMBreakdown)
+	}
+}
+
+func TestRunPageForgeShape(t *testing.T) {
+	cfg := fastConfig()
+	app := fastApp("img_dnn")
+	ksmRes, err := Run(KSM, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Run(PageForge, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical savings claim (within a couple of pages of noise from
+	// volatile churn timing).
+	if diff := pf.Footprint.Savings() - ksmRes.Footprint.Savings(); diff < -0.08 || diff > 0.08 {
+		t.Fatalf("savings differ: PF %.3f vs KSM %.3f", pf.Footprint.Savings(), ksmRes.Footprint.Savings())
+	}
+	// The driver's core cost must be tiny compared to the KSM kthread.
+	if pf.BurstMean >= ksmRes.BurstMean/5 {
+		t.Fatalf("PF bursts %.0f not far below KSM %.0f", pf.BurstMean, ksmRes.BurstMean)
+	}
+	// Hardware was exercised and timed.
+	if pf.PFBatches == 0 || pf.PFBatchMean <= 0 {
+		t.Fatal("no PageForge batches recorded")
+	}
+	if pf.PFLinesFetched == 0 {
+		t.Fatal("no PageForge line fetches")
+	}
+	// PageForge generates dedup DRAM traffic.
+	if pf.DedupGBps <= 0 {
+		t.Fatal("no PageForge bandwidth")
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	cfg := fastConfig()
+	app := fastApp("silo")
+	base, err := Run(Baseline, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksmRes, err := Run(KSM, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfRes, err := Run(PageForge, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := Latency(app, base, base, cfg, 400, 5)
+	lk := Latency(app, base, ksmRes, cfg, 400, 5)
+	lp := Latency(app, base, pfRes, cfg, 400, 5)
+	// The paper's central result: Baseline < PageForge << KSM.
+	if !(lb.Mean < lp.Mean && lp.Mean < lk.Mean) {
+		t.Fatalf("mean ordering violated: base=%.0f pf=%.0f ksm=%.0f", lb.Mean, lp.Mean, lk.Mean)
+	}
+	if !(lb.P95 < lp.P95 && lp.P95 < lk.P95) {
+		t.Fatalf("tail ordering violated: base=%.0f pf=%.0f ksm=%.0f", lb.P95, lp.P95, lk.P95)
+	}
+	// PageForge close to baseline, KSM far.
+	pfOverhead := lp.Mean/lb.Mean - 1
+	ksmOverhead := lk.Mean/lb.Mean - 1
+	if pfOverhead > 0.35 {
+		t.Fatalf("PageForge mean overhead %.2f too high", pfOverhead)
+	}
+	if ksmOverhead < 2*pfOverhead {
+		t.Fatalf("KSM overhead %.2f not clearly above PageForge %.2f", ksmOverhead, pfOverhead)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Baseline.String() != "Baseline" || KSM.String() != "KSM" || PageForge.String() != "PageForge" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() != "?" {
+		t.Fatal("unknown mode")
+	}
+}

@@ -1,0 +1,98 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g ± %g", name, got, want, tol)
+	}
+}
+
+func TestPageForgeModuleMatchesTable5(t *testing.T) {
+	b := PageForgeModule(Tech22HP)
+	approx(t, "scan table area", b.ScanTable.AreaMM2, 0.010, 0.001)
+	approx(t, "scan table power", b.ScanTable.PowerW, 0.028, 0.001)
+	approx(t, "ALU area", b.ALU.AreaMM2, 0.019, 0.001)
+	approx(t, "ALU power", b.ALU.PowerW, 0.009, 0.001)
+	approx(t, "total area", b.Total.AreaMM2, 0.029, 0.001)
+	approx(t, "total power", b.Total.PowerW, 0.037, 0.001)
+}
+
+func TestInOrderCoreMatchesPaper(t *testing.T) {
+	// §6.4.2: "a core similar to an ARM A9 ... requires 0.77 mm² and has a
+	// TDP of 0.37 W, at 22nm and with low operating power devices."
+	e := InOrderCore(Tech22LOP)
+	approx(t, "A9 area", e.AreaMM2, 0.77, 0.02)
+	approx(t, "A9 power", e.PowerW, 0.37, 0.02)
+}
+
+func TestServerChipMatchesPaper(t *testing.T) {
+	// §6.4.2: "a server-grade architecture like ... Table 2 requires a
+	// total of 138.6 mm² and has a TDP of 164 W."
+	e := ServerChip(Tech22HP, 10, 32<<20)
+	approx(t, "server area", e.AreaMM2, 138.6, 1.5)
+	approx(t, "server power", e.PowerW, 164, 2)
+}
+
+func TestPageForgeIsNegligibleVsServer(t *testing.T) {
+	pf := PageForgeModule(Tech22HP).Total
+	server := ServerChip(Tech22HP, 10, 32<<20)
+	if pf.AreaMM2/server.AreaMM2 > 0.001 {
+		t.Fatal("PageForge area not negligible")
+	}
+	if pf.PowerW/server.PowerW > 0.001 {
+		t.Fatal("PageForge power not negligible")
+	}
+}
+
+func TestPageForgeOrderOfMagnitudeBelowInOrderCore(t *testing.T) {
+	// §4.3: "PageForge uses negligible area and requires an order of
+	// magnitude less power" than the in-order core alternative.
+	pf := PageForgeModule(Tech22HP).Total
+	a9 := InOrderCore(Tech22LOP)
+	if a9.PowerW/pf.PowerW < 9 {
+		t.Fatalf("power ratio %.1f, want ~10x", a9.PowerW/pf.PowerW)
+	}
+	if a9.AreaMM2/pf.AreaMM2 < 20 {
+		t.Fatalf("area ratio %.1f, want >> 1", a9.AreaMM2/pf.AreaMM2)
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	t45 := Tech{NodeNM: 45, Type: HighPerformance}
+	small22 := SmallSRAM(Tech22HP, 1024, 1)
+	small45 := SmallSRAM(t45, 1024, 1)
+	wantArea := small22.AreaMM2 * (45.0 / 22) * (45.0 / 22)
+	approx(t, "45nm area scaling", small45.AreaMM2, wantArea, 1e-9)
+	if small45.PowerW <= small22.PowerW {
+		t.Fatal("older node should burn more power")
+	}
+}
+
+func TestActivityScalesPower(t *testing.T) {
+	idle := SmallSRAM(Tech22HP, 512, 0.1)
+	busy := SmallSRAM(Tech22HP, 512, 1.0)
+	if idle.AreaMM2 != busy.AreaMM2 {
+		t.Fatal("activity changed area")
+	}
+	approx(t, "activity power ratio", busy.PowerW/idle.PowerW, 10, 1e-9)
+}
+
+func TestAddAndRound(t *testing.T) {
+	e := Estimate{1.234567, 2.345678}.Add(Estimate{1, 1})
+	r := e.Round(2)
+	approx(t, "rounded area", r.AreaMM2, 2.23, 1e-9)
+	approx(t, "rounded power", r.PowerW, 3.35, 1e-9)
+}
+
+func TestDenseVsSmallSRAMDensity(t *testing.T) {
+	small := SmallSRAM(Tech22HP, 32<<10, 1)
+	dense := DenseSRAM(Tech22HP, 32<<10)
+	if dense.AreaMM2 >= small.AreaMM2 {
+		t.Fatal("dense array not denser than cache-like structure")
+	}
+}

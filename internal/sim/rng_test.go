@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identically-seeded generators diverged")
+		}
+	}
+}
+
+func TestRNGSeedsDecorrelated(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical outputs", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		nn := int(n%1000) + 1
+		r := NewRNG(seed)
+		v := r.Intn(nn)
+		return v >= 0 && v < nn
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(99)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Fatalf("Exp(10) sample mean = %g, want ~10", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var o Online
+	for i := 0; i < n; i++ {
+		o.Add(r.Normal(3, 2))
+	}
+	if math.Abs(o.Mean()-3) > 0.05 {
+		t.Fatalf("Normal mean = %g, want ~3", o.Mean())
+	}
+	if math.Abs(o.Stddev()-2) > 0.05 {
+		t.Fatalf("Normal stddev = %g, want ~2", o.Stddev())
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 400000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.LogNormal(50, 1.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-50)/50 > 0.03 {
+		t.Fatalf("LogNormal(50, cv=1) mean = %g, want ~50", mean)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below xm: %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(8)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFillBytesCoversTail(t *testing.T) {
+	r := NewRNG(4)
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65} {
+		b := make([]byte, n)
+		r.FillBytes(b)
+		if n >= 16 {
+			allZero := true
+			for _, v := range b {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				t.Fatalf("FillBytes(%d) produced all zeros", n)
+			}
+		}
+	}
+}
+
+func TestForkIndependent(t *testing.T) {
+	parent := NewRNG(1)
+	child := parent.Fork()
+	a, b := parent.Uint64(), child.Uint64()
+	if a == b {
+		t.Fatal("forked stream mirrors parent")
+	}
+}

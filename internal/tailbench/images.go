@@ -1,0 +1,272 @@
+package tailbench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Image is the generated memory layout for one deployment: 10 VMs running
+// the same application, with page categories tracked for later accounting
+// (Figure 7 classifies pages as Unmergeable / Mergeable-Zero /
+// Mergeable-NonZero).
+type Image struct {
+	Profile Profile
+	HV      *vm.Hypervisor
+	VMs     []*vm.VM
+	// Volatile lists pages that the workload rewrites between scan passes.
+	Volatile []vm.PageID
+	// dup contents shared across VMs; unique contents per page.
+	DupPages    []vm.PageID
+	ZeroPages   []vm.PageID
+	UniquePages []vm.PageID
+
+	rng *sim.RNG
+}
+
+// BuildImage deploys numVMs copies of the application and fills guest
+// memory according to the profile's composition:
+//
+//   - DupFrac of pages carry contents drawn from a pool of distinct
+//     "library/kernel/dataset" pages; each distinct content is mapped into
+//     ~DupCopies VMs at the same relative position, which is exactly the
+//     cross-VM duplication same-page merging exploits.
+//   - ZeroFrac of pages are touched but never written (zero pages).
+//   - The rest are unique per-VM contents; VolatileFrac of those churn.
+//
+// All pages are madvised mergeable, as a KVM deployment would.
+func BuildImage(p Profile, numVMs int, physFrames int, seed uint64) (*Image, error) {
+	img := &Image{Profile: p, HV: vm.NewHypervisor(uint64(physFrames) * mem.PageSize), rng: sim.NewRNG(seed)}
+
+	dupPerVM := int(p.DupFrac * float64(p.PagesPerVM))
+	zeroPerVM := int(p.ZeroFrac * float64(p.PagesPerVM))
+	uniqPerVM := p.PagesPerVM - dupPerVM - zeroPerVM
+
+	// Distinct duplicated contents: total dup pages / mean copies.
+	distinct := int(float64(dupPerVM*numVMs)/p.DupCopies + 0.5)
+	if distinct < 1 {
+		distinct = 1
+	}
+	// Content id c is assigned to dup slot s of VM v when a hash of
+	// (c, slot) selects v — realized simply by striding contents across
+	// slots so each content lands in ~DupCopies VMs.
+	for i := 0; i < numVMs; i++ {
+		v := img.HV.NewVM(uint64(p.PagesPerVM) * mem.PageSize)
+		v.Madvise(0, p.PagesPerVM, true)
+		img.VMs = append(img.VMs, v)
+	}
+
+	page := make([]byte, mem.PageSize)
+	// Image-specific salt: two deployments with different seeds must not
+	// share any content (their "library" pages are different builds).
+	salt := (seed + 1) * 0x9E3779B97F4A7C15
+	// Duplicated region: gfns [0, dupPerVM).
+	for slot := 0; slot < dupPerVM; slot++ {
+		for i, v := range img.VMs {
+			// Deterministic content id: same slot shares content across a
+			// window of DupCopies VMs.
+			group := (slot*numVMs + i) / max(1, int(p.DupCopies+0.5))
+			contentID := group % max(1, distinct)
+			fillPage(page, uint64(contentID)*2654435761+salt)
+			if _, err := v.Write(vm.GFN(slot), 0, page); err != nil {
+				return nil, fmt.Errorf("tailbench: dup page: %w", err)
+			}
+			img.DupPages = append(img.DupPages, vm.PageID{VM: v.ID, GFN: vm.GFN(slot)})
+		}
+	}
+	// Zero region: gfns [dupPerVM, dupPerVM+zeroPerVM) — touched only.
+	for z := 0; z < zeroPerVM; z++ {
+		g := vm.GFN(dupPerVM + z)
+		for _, v := range img.VMs {
+			if err := v.Touch(g); err != nil {
+				return nil, fmt.Errorf("tailbench: zero page: %w", err)
+			}
+			img.ZeroPages = append(img.ZeroPages, vm.PageID{VM: v.ID, GFN: g})
+		}
+	}
+	// Unique region: remaining gfns, globally unique contents.
+	next := salt ^ 0xF00D
+	for u := 0; u < uniqPerVM; u++ {
+		g := vm.GFN(dupPerVM + zeroPerVM + u)
+		for _, v := range img.VMs {
+			next++
+			fillPage(page, next*0x9E3779B97F4A7C15+7)
+			if _, err := v.Write(g, 0, page); err != nil {
+				return nil, fmt.Errorf("tailbench: unique page: %w", err)
+			}
+			id := vm.PageID{VM: v.ID, GFN: g}
+			img.UniquePages = append(img.UniquePages, id)
+			if float64(u) < p.VolatileFrac*float64(uniqPerVM) {
+				img.Volatile = append(img.Volatile, id)
+			}
+		}
+	}
+	return img, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fillPage writes deterministic content derived from seed: a zero prefix
+// of 64..576 bytes (also seed-derived) followed by pseudo-random data.
+// Pages with equal seeds are byte-identical. The zero prefix reproduces the
+// structure of real system pages — zero-initialized headers, sparse data,
+// common ELF/slab prefixes — which is what makes content-indexed tree
+// comparisons walk hundreds of bytes before diverging (the dominant cost
+// in Table 4) rather than one byte.
+func fillPage(page []byte, seed uint64) {
+	// Mix the seed so nearby seeds produce unrelated prefixes and tails.
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	prefix := 64 + int(z%1025) // 64..1088 bytes (~576 mean), 8B-aligned below
+	prefix &^= 7
+	for i := 0; i < prefix; i++ {
+		page[i] = 0
+	}
+	x := z | 1
+	for i := prefix; i+8 <= len(page); i += 8 {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		binary.LittleEndian.PutUint64(page[i:], x*0x2545F4914F6CDD1D)
+	}
+}
+
+// ChurnVolatile models the application's write traffic between
+// deduplication passes. Half the volatile pages are fully rewritten; the
+// other half receive a partial 256B write whose offset is biased toward
+// the start of the page (applications mutate headers and counters early in
+// a page far more often than its tail). Partial writes are what create the
+// hash-key false positives Figure 8 studies: a write that lands outside
+// the first 1KB escapes KSM's jhash, and one that misses all four sampled
+// lines escapes the ECC key.
+func (img *Image) ChurnVolatile() error {
+	buf := make([]byte, mem.PageSize)
+	part := make([]byte, 256)
+	for _, id := range img.Volatile {
+		v := img.HV.VM(id.VM)
+		if img.rng.Bool(0.5) {
+			fillPage(buf, img.rng.Uint64())
+			if _, err := v.Write(id.GFN, 0, buf); err != nil {
+				return err
+			}
+			continue
+		}
+		img.rng.FillBytes(part)
+		var off int
+		if img.rng.Bool(0.7) {
+			off = img.rng.Intn(1024 - 256) // header-region write
+		} else {
+			off = 1024 + img.rng.Intn(mem.PageSize-1024-256)
+		}
+		if _, err := v.Write(id.GFN, off, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Footprint classifies the deployment's pages after deduplication, in the
+// taxonomy of Figure 7, and reports page counts.
+type Footprint struct {
+	TotalGuestPages  int // resident guest pages across all VMs
+	FramesAllocated  int // physical frames actually in use
+	Unmergeable      int // guest pages mapped 1:1 to a private frame
+	MergeableZero    int // guest pages sharing a zero frame
+	MergeableNonZero int // guest pages sharing a non-zero frame
+	ZeroFrames       int // distinct frames backing zero sharers
+	NonZeroShared    int // distinct non-zero shared frames
+}
+
+// Savings reports the fractional reduction in allocated frames relative to
+// one frame per resident guest page.
+func (f Footprint) Savings() float64 {
+	if f.TotalGuestPages == 0 {
+		return 0
+	}
+	return 1 - float64(f.FramesAllocated)/float64(f.TotalGuestPages)
+}
+
+// MeasureFootprint classifies the current mapping state.
+func (img *Image) MeasureFootprint() Footprint {
+	var f Footprint
+	seenFrame := map[mem.PFN]bool{}
+	for _, v := range img.VMs {
+		for g := vm.GFN(0); int(g) < v.Pages(); g++ {
+			pfn, ok := v.Resolve(g)
+			if !ok {
+				continue
+			}
+			f.TotalGuestPages++
+			sharers := len(img.HV.Mappers(pfn))
+			if sharers <= 1 {
+				f.Unmergeable++
+				continue
+			}
+			zero := img.HV.Phys.IsZero(pfn)
+			if zero {
+				f.MergeableZero++
+			} else {
+				f.MergeableNonZero++
+			}
+			if !seenFrame[pfn] {
+				seenFrame[pfn] = true
+				if zero {
+					f.ZeroFrames++
+				} else {
+					f.NonZeroShared++
+				}
+			}
+		}
+	}
+	f.FramesAllocated = img.HV.Phys.AllocatedFrames()
+	return f
+}
+
+// AddSimilarity rewrites a fraction of each VM's unique pages as per-VM
+// *variants* of common base contents: byte-identical except for a few
+// VM-specific words. Same-page merging cannot exploit these, but sub-page
+// techniques (Difference Engine-style patching) can — this models the
+// sharing the paper's related work (§7.2) attributes to similar pages.
+func (img *Image) AddSimilarity(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	// Group unique pages by gfn: each gfn gets one base content, each VM a
+	// tiny delta on it.
+	byGFN := map[vm.GFN][]vm.PageID{}
+	for _, id := range img.UniquePages {
+		byGFN[id.GFN] = append(byGFN[id.GFN], id)
+	}
+	gfns := make([]vm.GFN, 0, len(byGFN))
+	for g := range byGFN {
+		gfns = append(gfns, g)
+	}
+	sort.Slice(gfns, func(i, j int) bool { return gfns[i] < gfns[j] })
+	limit := int(frac * float64(len(gfns)))
+	base := make([]byte, mem.PageSize)
+	for i := 0; i < limit; i++ {
+		g := gfns[i]
+		fillPage(base, uint64(g)*0xA24BAED4963EE407+99)
+		for _, id := range byGFN[g] {
+			page := append([]byte(nil), base...)
+			// A VM-specific delta: 16 bytes at a VM-dependent offset.
+			off := 256 + (id.VM*193)%(mem.PageSize-512)
+			for k := 0; k < 16; k++ {
+				page[off+k] = byte(id.VM*31 + k + 1)
+			}
+			if _, err := img.HV.VM(id.VM).Write(id.GFN, 0, page); err != nil {
+				panic(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package tailbench
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Burst is one interval of core time stolen from the applications by the
+// page-deduplication process (the KSM kthread's work interval, or the tiny
+// PageForge driver bookkeeping).
+type Burst struct {
+	At     uint64 // cycle at which the kthread wakes on this core
+	Core   int
+	Cycles uint64 // core time consumed
+}
+
+// BurstSchedule generates the dedup process's core occupancy over time.
+// Each work interval's busy time is split into scheduler timeslices
+// (Linux's CFS preempts and migrates the kthread at millisecond
+// granularity), each placed on a Zipf-skewed core: the kthread prefers the
+// cores it recently ran on, so one core absorbs a disproportionate share
+// (Table 4's "Max" column) while every core sees some interference.
+type BurstSchedule struct {
+	// IntervalCycles is the kthread period (sleep_millisecs = 5ms).
+	IntervalCycles uint64
+	// MeanCycles/StdCycles describe the per-interval busy time; samples are
+	// drawn log-normally (busy time is a sum of page-scan costs).
+	MeanCycles float64
+	StdCycles  float64
+	// SliceCycles is the scheduler timeslice (0 ⇒ 1M cycles = 0.5ms).
+	SliceCycles uint64
+	// ZipfS skews the per-slice core placement. 0 disables bursts entirely.
+	ZipfS float64
+	Cores int
+	// Share is the CPU fraction the dedup process receives while resident
+	// on a core (CFS gives equal-weight tasks 0.5). The co-located vCPU
+	// runs at (1-Share) during the residency window, whose wall-clock
+	// length is Cycles/Share. Share 0 or 1 degrades to full blocking.
+	Share float64
+
+	weights []float64
+}
+
+// NoBursts is the baseline schedule: the dedup engine never runs.
+func NoBursts() *BurstSchedule { return &BurstSchedule{} }
+
+func (b *BurstSchedule) slice() uint64 {
+	if b.SliceCycles > 0 {
+		return b.SliceCycles
+	}
+	return 1_000_000
+}
+
+func (b *BurstSchedule) initWeights() {
+	if b.weights != nil {
+		return
+	}
+	total := 0.0
+	for i := 0; i < b.Cores; i++ {
+		w := 1.0 / math.Pow(float64(i+1), b.ZipfS)
+		b.weights = append(b.weights, w)
+		total += w
+	}
+	for i := range b.weights {
+		b.weights[i] /= total
+	}
+}
+
+func (b *BurstSchedule) pickCore(rng *sim.RNG) int {
+	u := rng.Float64()
+	for i, w := range b.weights {
+		if u < w {
+			return i
+		}
+		u -= w
+	}
+	return b.Cores - 1
+}
+
+// Bursts samples the timeslices for interval k (k=0,1,...). The returned
+// slice is empty when the schedule is disabled.
+func (b *BurstSchedule) Bursts(k uint64, rng *sim.RNG) []Burst {
+	if b.MeanCycles <= 0 || b.Cores == 0 {
+		return nil
+	}
+	b.initWeights()
+	cv := 0.0
+	if b.MeanCycles > 0 {
+		cv = b.StdCycles / b.MeanCycles
+	}
+	busy := rng.LogNormal(b.MeanCycles, cv)
+	if busy <= 0 {
+		return nil
+	}
+	sl := b.slice()
+	var out []Burst
+	start := k * b.IntervalCycles
+	remaining := uint64(busy)
+	for remaining > 0 {
+		d := sl
+		if remaining < sl {
+			d = remaining
+		}
+		out = append(out, Burst{At: start, Core: b.pickCore(rng), Cycles: d})
+		start += d
+		remaining -= d
+	}
+	return out
+}
+
+// CoreShare reports the long-run fraction of core c's cycles consumed by
+// the schedule (for validating Table 4's Avg/Max columns).
+func (b *BurstSchedule) CoreShare(c int) float64 {
+	if b.MeanCycles <= 0 || b.Cores == 0 || b.IntervalCycles == 0 {
+		return 0
+	}
+	b.initWeights()
+	return b.weights[c] * b.MeanCycles / float64(b.IntervalCycles)
+}
+
+// LatencyResult aggregates sojourn latencies for one deployment (10 VMs of
+// one application under one configuration).
+type LatencyResult struct {
+	// PerVMMean / PerVMP95 are per-VM statistics in cycles.
+	PerVMMean []float64
+	PerVMP95  []float64
+	// Mean and P95 are geometric means across VMs, the aggregation the
+	// paper uses in Figures 9 and 10.
+	Mean float64
+	P95  float64
+	// Queries is the total measured query count.
+	Queries int
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// window is an interval during which a core's application capacity is
+// reduced to rate (the dedup kthread holds the remaining share).
+type window struct {
+	start, end uint64
+	rate       float64
+}
+
+// buildWindows converts the burst schedule into per-core slowdown windows.
+// Windows on a core never overlap: a residency that would begin before the
+// previous one ends is pushed back (the kthread can only be in one place,
+// and a core's runqueue serializes).
+func buildWindows(sched *BurstSchedule, cores int, horizon uint64, rng *sim.RNG) [][]window {
+	byCore := make([][]window, cores)
+	if sched == nil || sched.IntervalCycles == 0 {
+		return byCore
+	}
+	share := sched.Share
+	if share <= 0 || share >= 1 {
+		share = 1 // full blocking: rate 0 over exactly Cycles
+	}
+	for k := uint64(0); k*sched.IntervalCycles < horizon; k++ {
+		for _, b := range sched.Bursts(k, rng) {
+			length := uint64(float64(b.Cycles) / share)
+			rate := 1 - share
+			ws := byCore[b.Core]
+			start := b.At
+			if n := len(ws); n > 0 && ws[n-1].end > start {
+				start = ws[n-1].end
+			}
+			byCore[b.Core] = append(ws, window{start: start, end: start + length, rate: rate})
+		}
+	}
+	return byCore
+}
+
+// advance computes when S cycles of work finish if started at t on a core
+// whose capacity follows the window list; wi is the caller's cursor into
+// the (time-ordered) windows and is advanced past fully-elapsed windows.
+func advance(ws []window, wi *int, t uint64, S float64) uint64 {
+	for S > 0 {
+		for *wi < len(ws) && ws[*wi].end <= t {
+			*wi++
+		}
+		if *wi >= len(ws) {
+			return t + uint64(S)
+		}
+		w := ws[*wi]
+		if t < w.start {
+			// Full-speed region before the next window.
+			span := float64(w.start - t)
+			if S <= span {
+				return t + uint64(S)
+			}
+			S -= span
+			t = w.start
+			continue
+		}
+		// Inside a slowdown window.
+		if w.rate <= 0 {
+			t = w.end
+			continue
+		}
+		span := float64(w.end-t) * w.rate // work achievable inside the window
+		if S <= span {
+			return t + uint64(S/w.rate)
+		}
+		S -= span
+		t = w.end
+	}
+	return t
+}
+
+// SimulateQueueing runs the open-loop latency simulation: one VM per core,
+// Poisson arrivals at the profile's QPS, log-normal service times dilated
+// by the configuration's service-dilation factor (cache pollution and
+// memory contention), and the dedup kthread timesharing cores per the
+// burst schedule. A query's sojourn latency is queueing plus service — the
+// paper's "mean sojourn latency".
+func SimulateQueueing(p Profile, cores int, dilation float64, sched *BurstSchedule,
+	measureCycles uint64, seed uint64) LatencyResult {
+
+	warmup := measureCycles / 5
+	horizon := warmup + measureCycles
+	rootRNG := sim.NewRNG(seed)
+	burstRNG := rootRNG.Fork()
+	windowsByCore := buildWindows(sched, cores, horizon, burstRNG)
+
+	res := LatencyResult{}
+	meanGap := float64(sim.CyclesPerSecond) / p.QPS
+	for core := 0; core < cores; core++ {
+		rng := rootRNG.Fork()
+		sample := sim.NewSample(1024)
+		ws := windowsByCore[core]
+		wi := 0
+		var serverFree uint64
+		var t float64 // next arrival time
+		for {
+			t += rng.Exp(meanGap)
+			arrival := uint64(t)
+			if arrival >= horizon {
+				break
+			}
+			start := arrival
+			if serverFree > start {
+				start = serverFree
+			}
+			service := rng.LogNormal(p.MeanServiceCycles*dilation, p.ServiceCV)
+			complete := advance(ws, &wi, start, service)
+			serverFree = complete
+			if arrival >= warmup {
+				sample.Add(float64(complete - arrival))
+			}
+		}
+		res.PerVMMean = append(res.PerVMMean, sample.Mean())
+		res.PerVMP95 = append(res.PerVMP95, sample.P95())
+		res.Queries += sample.N()
+	}
+	res.Mean = geomean(res.PerVMMean)
+	res.P95 = geomean(res.PerVMP95)
+	return res
+}
+
+// MeasureCyclesFor picks a simulation horizon long enough for statistically
+// meaningful sojourn estimates: at least minQueries per VM, at least one
+// second of simulated time, capped to keep runs fast.
+func MeasureCyclesFor(p Profile, minQueries int) uint64 {
+	need := float64(minQueries) / p.QPS * float64(sim.CyclesPerSecond)
+	if need < 1*float64(sim.CyclesPerSecond) {
+		need = 1 * float64(sim.CyclesPerSecond)
+	}
+	const maxHorizon = 120 * float64(sim.CyclesPerSecond)
+	if need > maxHorizon {
+		need = maxHorizon
+	}
+	return uint64(need)
+}

@@ -1,0 +1,79 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestMapHugeBlocksMerging(t *testing.T) {
+	h := NewHypervisor(64 * mem.PageSize)
+	a := h.NewVM(8 * mem.PageSize)
+	b := h.NewVM(8 * mem.PageSize)
+	content := bytes.Repeat([]byte{7}, mem.PageSize)
+	a.Write(0, 0, content)
+	b.Write(0, 0, content)
+	if err := a.MapHuge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !a.InHuge(0) || !a.InHuge(3) || a.InHuge(4) {
+		t.Fatal("huge range membership wrong")
+	}
+	dst, _ := b.Resolve(0)
+	if _, err := h.Merge(PageID{a.ID, 0}, dst); err != ErrHugeMapped {
+		t.Fatalf("merge under huge mapping: err = %v, want ErrHugeMapped", err)
+	}
+	// Breaking the mapping unblocks the merge.
+	if !a.BreakHuge(0) {
+		t.Fatal("BreakHuge found nothing")
+	}
+	if a.HugeBreaks != 1 {
+		t.Fatalf("HugeBreaks = %d", a.HugeBreaks)
+	}
+	if _, err := h.Merge(PageID{a.ID, 0}, dst); err != nil {
+		t.Fatalf("merge after break: %v", err)
+	}
+	if h.Phys.AllocatedFrames() != 1 {
+		t.Fatalf("frames = %d", h.Phys.AllocatedFrames())
+	}
+}
+
+func TestMapHugeRejectsOverlapAndShared(t *testing.T) {
+	h := NewHypervisor(64 * mem.PageSize)
+	a := h.NewVM(16 * mem.PageSize)
+	b := h.NewVM(16 * mem.PageSize)
+	if err := a.MapHuge(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MapHuge(4, 8); err == nil {
+		t.Fatal("overlapping huge region accepted")
+	}
+	// A shared (merged) page cannot be promoted to huge.
+	content := bytes.Repeat([]byte{9}, mem.PageSize)
+	a.Write(10, 0, content)
+	b.Write(0, 0, content)
+	dst, _ := b.Resolve(0)
+	if _, err := h.Merge(PageID{a.ID, 10}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MapHuge(10, 2); err == nil {
+		t.Fatal("huge promotion over a shared page accepted")
+	}
+}
+
+func TestBreakAllHuge(t *testing.T) {
+	h := NewHypervisor(64 * mem.PageSize)
+	v := h.NewVM(16 * mem.PageSize)
+	v.MapHuge(0, 4)
+	v.MapHuge(8, 4)
+	if n := v.BreakAllHuge(); n != 2 {
+		t.Fatalf("broke %d regions, want 2", n)
+	}
+	if v.InHuge(0) || v.InHuge(9) {
+		t.Fatal("regions survived BreakAllHuge")
+	}
+	if v.BreakHuge(0) {
+		t.Fatal("BreakHuge found a region after BreakAllHuge")
+	}
+}

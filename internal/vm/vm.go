@@ -1,0 +1,402 @@
+// Package vm models the virtualization substrate the paper's evaluation
+// runs on: a hypervisor owning host physical memory, per-VM guest-physical
+// to host-physical page tables, lazy zero-fill soft faults, madvise
+// MERGEABLE hints, and the copy-on-write remapping that same-page merging
+// relies on (Figure 1 of the paper).
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// GFN is a guest frame number (guest-physical page index within one VM).
+type GFN uint64
+
+// PageID names one guest page globally: the VM and the guest frame.
+type PageID struct {
+	VM  int
+	GFN GFN
+}
+
+// String renders the ID for diagnostics.
+func (p PageID) String() string { return fmt.Sprintf("vm%d:gfn%d", p.VM, p.GFN) }
+
+// mapping is one guest page-table entry.
+type mapping struct {
+	pfn       mem.PFN
+	present   bool
+	writeProt bool // write-protected: guest writes fault (CoW)
+	mergeable bool // inside a madvise(MADV_MERGEABLE) region
+}
+
+// VM is one virtual machine instance.
+type VM struct {
+	ID    int
+	table []mapping
+	hv    *Hypervisor
+
+	// SoftFaults counts zero-fill first-touch faults.
+	SoftFaults uint64
+	// CoWBreaks counts write faults on shared pages.
+	CoWBreaks uint64
+	// HugeBreaks counts huge mappings split into base pages.
+	HugeBreaks uint64
+
+	huge []hugeRange
+}
+
+// Pages reports the guest-physical size of the VM in pages.
+func (v *VM) Pages() int { return len(v.table) }
+
+// Hypervisor owns physical memory and the VMs, and implements the
+// page-merging primitives the dedup engines (KSM, PageForge driver) call.
+type Hypervisor struct {
+	Phys *mem.Phys
+	vms  []*VM
+
+	// rmap maps each shared-or-shareable frame to every guest page mapping
+	// it. It is the reverse mapping KSM needs to write-protect all sharers.
+	rmap map[mem.PFN][]PageID
+
+	// Merges counts successful page merges; Unmerges counts CoW breaks of
+	// merged frames.
+	Merges   uint64
+	Unmerges uint64
+}
+
+// NewHypervisor creates a hypervisor with the given physical capacity.
+func NewHypervisor(physBytes uint64) *Hypervisor {
+	return &Hypervisor{
+		Phys: mem.New(physBytes),
+		rmap: make(map[mem.PFN][]PageID),
+	}
+}
+
+// NewVM creates a VM with the given guest-physical memory size. Guest pages
+// are unbacked until first touch.
+func (h *Hypervisor) NewVM(memBytes uint64) *VM {
+	v := &VM{ID: len(h.vms), table: make([]mapping, memBytes/mem.PageSize), hv: h}
+	h.vms = append(h.vms, v)
+	return v
+}
+
+// VM returns the VM with the given ID.
+func (h *Hypervisor) VM(id int) *VM { return h.vms[id] }
+
+// NumVMs reports the number of VMs.
+func (h *Hypervisor) NumVMs() int { return len(h.vms) }
+
+// ErrNotPresent is returned when an operation needs a backed page.
+var ErrNotPresent = errors.New("vm: guest page not present")
+
+// ErrHugeMapped is returned when a merge targets a page under a huge
+// mapping; the mapping must be broken into base pages first.
+var ErrHugeMapped = errors.New("vm: page is under a huge mapping")
+
+func (v *VM) entry(g GFN) *mapping {
+	if int(g) >= len(v.table) {
+		panic(fmt.Sprintf("vm: GFN %d out of range for VM %d (%d pages)", g, v.ID, len(v.table)))
+	}
+	return &v.table[g]
+}
+
+// Madvise marks [start, start+n) mergeable or not, mirroring the
+// MADV_MERGEABLE hint a guest's deployment gives KSM.
+func (v *VM) Madvise(start GFN, n int, mergeable bool) {
+	for g := start; g < start+GFN(n); g++ {
+		v.entry(g).mergeable = mergeable
+	}
+}
+
+// Mergeable reports whether the guest page is in a mergeable region.
+func (v *VM) Mergeable(g GFN) bool { return v.entry(g).mergeable }
+
+// Present reports whether the guest page is backed by a frame.
+func (v *VM) Present(g GFN) bool { return v.entry(g).present }
+
+// WriteProtected reports whether guest writes to the page would fault.
+func (v *VM) WriteProtected(g GFN) bool { return v.entry(g).writeProt }
+
+// Resolve returns the frame backing the guest page.
+func (v *VM) Resolve(g GFN) (mem.PFN, bool) {
+	e := v.entry(g)
+	return e.pfn, e.present
+}
+
+// fault backs an unbacked page with a zeroed frame (the hypervisor's
+// zero-fill soft fault: "picks a page, zeroes it out to avoid information
+// leakage, and provides it to the guest OS").
+func (v *VM) fault(g GFN) (*mapping, error) {
+	e := v.entry(g)
+	if e.present {
+		return e, nil
+	}
+	pfn, err := v.hv.Phys.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	e.pfn = pfn
+	e.present = true
+	e.writeProt = false
+	v.SoftFaults++
+	v.hv.rmapAdd(pfn, PageID{v.ID, g})
+	return e, nil
+}
+
+// Touch ensures the page is backed (a guest read of an untouched page).
+func (v *VM) Touch(g GFN) error {
+	_, err := v.fault(g)
+	return err
+}
+
+// Read copies page bytes at [off, off+len(dst)) into dst, faulting the page
+// in if needed.
+func (v *VM) Read(g GFN, off int, dst []byte) error {
+	e, err := v.fault(g)
+	if err != nil {
+		return err
+	}
+	copy(dst, v.hv.Phys.Page(e.pfn)[off:off+len(dst)])
+	return nil
+}
+
+// Page returns a read-only view of the page contents (faulting it in).
+func (v *VM) Page(g GFN) ([]byte, error) {
+	e, err := v.fault(g)
+	if err != nil {
+		return nil, err
+	}
+	return v.hv.Phys.Page(e.pfn), nil
+}
+
+// Write stores src at [off, off+len(src)), handling the soft fault and any
+// CoW break. It reports whether a CoW break occurred.
+func (v *VM) Write(g GFN, off int, src []byte) (cowBroke bool, err error) {
+	e, err := v.fault(g)
+	if err != nil {
+		return false, err
+	}
+	if e.writeProt {
+		if err := v.breakCoW(g, e); err != nil {
+			return false, err
+		}
+		cowBroke = true
+	}
+	copy(v.hv.Phys.Page(e.pfn)[off:], src)
+	return cowBroke, nil
+}
+
+// breakCoW gives the writing guest a private copy of a protected page.
+func (v *VM) breakCoW(g GFN, e *mapping) error {
+	old := e.pfn
+	if v.hv.Phys.Get(old).Refs() == 1 {
+		// Sole mapper: just drop the protection (Linux reuse_ksm_page path).
+		e.writeProt = false
+		v.hv.Phys.SetCoW(old, false)
+		v.hv.Unmerges++
+		return nil
+	}
+	fresh, err := v.hv.Phys.Alloc()
+	if err != nil {
+		return err
+	}
+	v.hv.Phys.CopyPage(fresh, old)
+	v.hv.rmapRemove(old, PageID{v.ID, g})
+	v.hv.Phys.DecRef(old)
+	e.pfn = fresh
+	e.writeProt = false
+	v.hv.rmapAdd(fresh, PageID{v.ID, g})
+	v.CoWBreaks++
+	v.hv.Unmerges++
+	return nil
+}
+
+// Release unmaps the guest page, dropping its frame reference.
+func (v *VM) Release(g GFN) {
+	e := v.entry(g)
+	if !e.present {
+		return
+	}
+	v.hv.rmapRemove(e.pfn, PageID{v.ID, g})
+	v.hv.Phys.DecRef(e.pfn)
+	*e = mapping{mergeable: e.mergeable}
+}
+
+func (h *Hypervisor) rmapAdd(pfn mem.PFN, id PageID) {
+	h.rmap[pfn] = append(h.rmap[pfn], id)
+}
+
+func (h *Hypervisor) rmapRemove(pfn mem.PFN, id PageID) {
+	refs := h.rmap[pfn]
+	for i, r := range refs {
+		if r == id {
+			refs[i] = refs[len(refs)-1]
+			h.rmap[pfn] = refs[:len(refs)-1]
+			if len(h.rmap[pfn]) == 0 {
+				delete(h.rmap, pfn)
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("vm: rmap entry %v for frame %d missing", id, pfn))
+}
+
+// Mappers returns the guest pages currently mapping the frame.
+func (h *Hypervisor) Mappers(pfn mem.PFN) []PageID {
+	out := make([]PageID, len(h.rmap[pfn]))
+	copy(out, h.rmap[pfn])
+	return out
+}
+
+// Resolve resolves a global page ID to its backing frame.
+func (h *Hypervisor) Resolve(id PageID) (mem.PFN, bool) {
+	return h.vms[id.VM].Resolve(id.GFN)
+}
+
+// WriteProtect write-protects every mapping of the frame and marks it CoW.
+// Same-page merging does this before the final "racing writes" comparison.
+func (h *Hypervisor) WriteProtect(pfn mem.PFN) {
+	for _, id := range h.rmap[pfn] {
+		h.vms[id.VM].entry(id.GFN).writeProt = true
+	}
+	h.Phys.SetCoW(pfn, true)
+}
+
+// Unprotect removes write protection from every mapping of the frame and
+// clears its CoW mark — the abort path when a pre-merge verification finds
+// the candidate was raced by a guest write.
+func (h *Hypervisor) Unprotect(pfn mem.PFN) {
+	for _, id := range h.rmap[pfn] {
+		h.vms[id.VM].entry(id.GFN).writeProt = false
+	}
+	h.Phys.SetCoW(pfn, false)
+}
+
+// ErrContentChanged is returned by Merge when the final write-protected
+// comparison finds the pages no longer identical.
+var ErrContentChanged = errors.New("vm: page contents diverged before merge")
+
+// Merge folds the candidate guest page into the frame dst, following KSM's
+// safety protocol: write-protect both frames, re-compare exhaustively, and
+// only then remap the candidate's mapping to dst and free its old frame.
+// It returns the number of bytes compared by the final check.
+func (h *Hypervisor) Merge(candidate PageID, dst mem.PFN) (int, error) {
+	v := h.vms[candidate.VM]
+	if v.InHuge(candidate.GFN) {
+		return 0, ErrHugeMapped
+	}
+	e := v.entry(candidate.GFN)
+	if !e.present {
+		return 0, ErrNotPresent
+	}
+	src := e.pfn
+	if src == dst {
+		return 0, nil // already merged
+	}
+	// Write-protect first so a racing guest write faults rather than
+	// slipping in between the compare and the remap.
+	h.WriteProtect(src)
+	h.WriteProtect(dst)
+	same, n := h.Phys.SamePage(src, dst)
+	if !same {
+		// Leave dst protected (it is or will be a stable page); undo the
+		// candidate's protection since it is not being merged.
+		for _, id := range h.rmap[src] {
+			h.vms[id.VM].entry(id.GFN).writeProt = false
+		}
+		h.Phys.SetCoW(src, false)
+		return n, ErrContentChanged
+	}
+	h.rmapRemove(src, candidate)
+	h.Phys.DecRef(src)
+	e.pfn = dst
+	e.writeProt = true
+	h.Phys.IncRef(dst)
+	h.rmapAdd(dst, candidate)
+	h.Merges++
+	return n, nil
+}
+
+// SharedFrames reports frames mapped by more than one guest page, and the
+// total number of guest pages mapping them; the difference is the paper's
+// "memory savings" in pages.
+func (h *Hypervisor) SharedFrames() (frames, mappers int) {
+	for pfn, ids := range h.rmap {
+		if len(ids) > 1 {
+			frames++
+			mappers += len(ids)
+		}
+		_ = pfn
+	}
+	return frames, mappers
+}
+
+// --- Huge-page regions (§7.3 of the paper) ---------------------------------
+//
+// Large pages and memory consolidation conflict: a 2MB guest mapping cannot
+// share one 4KB-sized piece of its backing, so pages under a huge mapping
+// are invisible to same-page merging until the hypervisor proactively
+// breaks the mapping into base pages (Guo et al., VEE 2015). The model
+// tracks huge regions as ranges; frames stay 4KB (the backing layout is
+// unchanged, only remappability is constrained).
+
+// hugeRange is one huge mapping: [start, start+n) guest pages.
+type hugeRange struct {
+	start GFN
+	n     int
+}
+
+// HugePages is the base-page span of one huge mapping (2MB / 4KB).
+const HugePages = 512
+
+// MapHuge marks [start, start+n) as covered by huge mappings. Pages inside
+// cannot be individually remapped (merged) until BreakHuge splits them.
+// Regions must not overlap existing huge regions or shared pages.
+func (v *VM) MapHuge(start GFN, n int) error {
+	for g := start; g < start+GFN(n); g++ {
+		if v.InHuge(g) {
+			return fmt.Errorf("vm: huge region overlap at gfn %d", g)
+		}
+		e := v.entry(g)
+		if e.present && e.writeProt {
+			return fmt.Errorf("vm: gfn %d is shared; cannot promote to huge", g)
+		}
+	}
+	v.huge = append(v.huge, hugeRange{start: start, n: n})
+	return nil
+}
+
+// InHuge reports whether the guest page lies under a huge mapping.
+func (v *VM) InHuge(g GFN) bool {
+	for _, r := range v.huge {
+		if g >= r.start && g < r.start+GFN(r.n) {
+			return true
+		}
+	}
+	return false
+}
+
+// BreakHuge splits the huge mapping containing g into base pages, making
+// them individually remappable. It reports whether a mapping was broken.
+func (v *VM) BreakHuge(g GFN) bool {
+	for i, r := range v.huge {
+		if g >= r.start && g < r.start+GFN(r.n) {
+			v.huge = append(v.huge[:i], v.huge[i+1:]...)
+			v.HugeBreaks++
+			return true
+		}
+	}
+	return false
+}
+
+// BreakAllHuge splits every huge mapping (proactive breaking for maximum
+// sharing; Guo et al.'s policy), returning how many were broken.
+func (v *VM) BreakAllHuge() int {
+	n := len(v.huge)
+	v.huge = nil
+	v.HugeBreaks += uint64(n)
+	return n
+}

@@ -1,0 +1,320 @@
+// Package pageforgesim is a complete, simulation-based reproduction of
+// "PageForge: A Near-Memory Content-Aware Page-Merging Architecture"
+// (Skarlatos, Kim, Torrellas — MICRO-50, 2017).
+//
+// It provides, built from scratch on the Go standard library:
+//
+//   - The PageForge hardware model: the Scan Table (PFE + 31 Other Pages
+//     entries), the pairwise page-comparison state machine in the memory
+//     controller, background ECC-based hash-key generation, and the
+//     five-function OS interface of the paper's Table 1.
+//   - Every substrate the paper's evaluation depends on: a SECDED (72,64)
+//     ECC engine, the Linux jhash2 function, a hypervisor with
+//     guest-to-host page mappings and copy-on-write, RedHat's KSM
+//     algorithm (stable/unstable content-indexed red-black trees), a MESI
+//     cache hierarchy, a DDR bank/row DRAM model with demand-priority
+//     scheduling, TailBench-like latency-critical workloads, and an
+//     analytical area/power model.
+//   - Experiment runners that regenerate every table and figure of the
+//     paper's evaluation (Figures 7-11, Tables 4-5).
+//
+// The type aliases below re-export the internal packages' APIs so that the
+// whole system is reachable through this single import:
+//
+//	import pageforgesim "repro"
+//
+//	suite := pageforgesim.NewSuite()
+//	fig7, err := pageforgesim.Figure7(suite)
+//	fmt.Println(fig7)
+//
+// See DESIGN.md for the system inventory and the paper-to-module map, and
+// EXPERIMENTS.md for measured-vs-paper results.
+package pageforgesim
+
+import (
+	"io"
+
+	"repro/internal/diffengine"
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/esx"
+	"repro/internal/experiments"
+	"repro/internal/ksm"
+	"repro/internal/mem"
+	"repro/internal/memctrl"
+	"repro/internal/migrate"
+	"repro/internal/pageforge"
+	"repro/internal/placement"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/tailbench"
+	"repro/internal/vm"
+)
+
+// --- Simulated machine and configurations ---------------------------------
+
+// Mode selects one of the paper's three configurations.
+type Mode = platform.Mode
+
+// The three evaluated configurations (§5.3 of the paper).
+const (
+	Baseline  = platform.Baseline  // no page merging
+	KSM       = platform.KSM       // RedHat's software algorithm
+	PageForge = platform.PageForge // the hardware architecture
+)
+
+// Config assembles the Table 2 machine and engine parameters.
+type Config = platform.Config
+
+// Result carries every measured statistic of one (mode, application) run.
+type Result = platform.Result
+
+// DefaultConfig is the paper's setup: 10 cores at 2GHz, 32KB/256KB/32MB
+// caches, 2-channel DDR, sleep_millisecs=5, pages_to_scan=400.
+func DefaultConfig() Config { return platform.DefaultConfig() }
+
+// Run simulates one configuration running one application deployment
+// (10 VMs, one per core) through convergence and steady-state measurement.
+func Run(mode Mode, app Profile, cfg Config) (*Result, error) {
+	return platform.Run(mode, app, cfg)
+}
+
+// Latency runs the sojourn-latency phase (Figures 9 and 10) for a measured
+// system against its Baseline reference.
+func Latency(app Profile, base, system *Result, cfg Config, minQueries int, seed uint64) LatencyResult {
+	return platform.Latency(app, base, system, cfg, minQueries, seed)
+}
+
+// --- Workloads -------------------------------------------------------------
+
+// Profile describes one TailBench application (Table 3).
+type Profile = tailbench.Profile
+
+// LatencyResult aggregates per-VM sojourn latencies.
+type LatencyResult = tailbench.LatencyResult
+
+// Image is a generated 10-VM deployment with its page-duplication profile.
+type Image = tailbench.Image
+
+// Footprint classifies a deployment's pages in Figure 7's taxonomy.
+type Footprint = tailbench.Footprint
+
+// Profiles returns the five TailBench applications with Table 3's loads.
+func Profiles() []Profile { return tailbench.Profiles() }
+
+// ProfileByName finds an application profile ("img_dnn", "masstree",
+// "moses", "silo", "sphinx"), or nil.
+func ProfileByName(name string) *Profile { return tailbench.ProfileByName(name) }
+
+// BuildImage deploys numVMs copies of the application with its measured
+// cross-VM page-duplication profile.
+func BuildImage(p Profile, numVMs, physFrames int, seed uint64) (*Image, error) {
+	return tailbench.BuildImage(p, numVMs, physFrames, seed)
+}
+
+// --- Virtualization and deduplication substrates ---------------------------
+
+// Hypervisor owns physical memory and VMs and implements the page-merging
+// primitives (remapping, CoW, write protection).
+type Hypervisor = vm.Hypervisor
+
+// VM is one virtual machine with its guest-to-host page table.
+type VM = vm.VM
+
+// PageID names one guest page (VM index + guest frame number).
+type PageID = vm.PageID
+
+// GFN is a guest frame number.
+type GFN = vm.GFN
+
+// PFN is a host physical frame number.
+type PFN = mem.PFN
+
+// NewHypervisor creates a hypervisor with the given physical memory size.
+func NewHypervisor(physBytes uint64) *Hypervisor { return vm.NewHypervisor(physBytes) }
+
+// Scanner is the software KSM engine (Algorithm 1 of the paper).
+type Scanner = ksm.Scanner
+
+// Algorithm is the engine-independent KSM state shared by the software
+// scanner and the PageForge driver.
+type Algorithm = ksm.Algorithm
+
+// KSMOptions are the optional Linux KSM behaviours (use_zero_pages, smart
+// scan) supported by both the software scanner and the PageForge driver.
+type KSMOptions = ksm.Options
+
+// NewKSMScanner builds a software KSM scanner over a hypervisor, hashing
+// pages with jhash2 like the Linux implementation.
+func NewKSMScanner(hv *Hypervisor) *Scanner {
+	return ksm.NewScanner(ksm.NewAlgorithm(hv, ksm.JHasher{}), ksm.DefaultCosts())
+}
+
+// --- The ESX-style algorithm (§4.2 generality) ------------------------------
+
+// ESXTable is the hash-indexed same-page merging algorithm in the style of
+// VMware's ESX Server, runnable in software or on the PageForge hardware
+// in list mode.
+type ESXTable = esx.Table
+
+// NewESXSoftware builds the ESX-style algorithm with software comparisons.
+func NewESXSoftware(hv *Hypervisor) *ESXTable {
+	return esx.New(hv, esx.SoftwareComparer{Phys: hv.Phys})
+}
+
+// NewESXOnPageForge builds the ESX-style algorithm with its exhaustive
+// comparisons executed by the PageForge engine in list mode (every Scan
+// Table entry's Less and More point at the next entry).
+func NewESXOnPageForge(hv *Hypervisor, engine *Engine) *ESXTable {
+	return esx.New(hv, esx.NewHardwareComparer(engine))
+}
+
+// --- Beyond-the-paper extensions (its §7.2 related-work systems) ------------
+
+// DiffEngine is Difference Engine-style sub-page sharing: identical pages
+// merge, similar pages become patches against references, cold pages are
+// compressed.
+type DiffEngine = diffengine.Manager
+
+// NewDiffEngine builds the sub-page sharing engine over a hypervisor.
+func NewDiffEngine(hv *Hypervisor) *DiffEngine {
+	return diffengine.New(hv, diffengine.DefaultConfig())
+}
+
+// MigrationPlan analyzes a gang of VMs for dedup-aware migration: distinct
+// pages cross the wire once, preserving the sharing structure.
+type MigrationPlan = migrate.Plan
+
+// PlanGangMigration analyzes the VMs (by ID) for migration.
+func PlanGangMigration(hv *Hypervisor, vmIDs []int) *MigrationPlan {
+	return migrate.PlanGang(hv, vmIDs)
+}
+
+// ReceiveMigration rebuilds a migrated gang on the destination hypervisor.
+func ReceiveMigration(r io.Reader, dest *Hypervisor) ([]*VM, error) {
+	return migrate.Receive(r, dest)
+}
+
+// Fingerprint is a Bloom-filter summary of a VM's page contents for
+// sharing-aware placement (Memory Buddies-style).
+type Fingerprint = placement.Fingerprint
+
+// FingerprintVM summarizes a VM's resident pages in m filter bits with k
+// hash functions.
+func FingerprintVM(hv *Hypervisor, vmID int, m uint64, k int) *Fingerprint {
+	return placement.FingerprintVM(hv, vmID, m, k)
+}
+
+// EstimateSharedDistinct estimates two VMs' common distinct page contents
+// from their fingerprints alone.
+func EstimateSharedDistinct(a, b *Fingerprint) float64 {
+	return placement.EstimateSharedDistinct(a, b)
+}
+
+// Colocate greedily packs VMs onto hosts (perHost each), maximizing the
+// estimated intra-host sharing.
+func Colocate(fps []*Fingerprint, perHost int) placement.Assignment {
+	return placement.Colocate(fps, perHost)
+}
+
+// --- The PageForge hardware -------------------------------------------------
+
+// Engine is the PageForge hardware module (Scan Table + comparison FSM +
+// ECC key generation) hosted in a memory controller.
+type Engine = pageforge.Engine
+
+// Driver is the OS side of PageForge: the KSM algorithm driven through the
+// hardware's five-function interface.
+type Driver = pageforge.Driver
+
+// ScanTable is the hardware table (PFE + 31 Other Pages entries).
+type ScanTable = pageforge.ScanTable
+
+// KeyOffsets selects the per-1KB-section lines sampled into the ECC-based
+// page hash key (update_ECC_offset).
+type KeyOffsets = ecc.KeyOffsets
+
+// PFEInfo is what the get_PFE_info call returns to the OS: the hash key,
+// the traversal pointer, and the Scanned/Duplicate/HashReady bits.
+type PFEInfo = pageforge.PFEInfo
+
+// InvalidIndex marks a Less/More Scan Table pointer with no target.
+const InvalidIndex = pageforge.InvalidIndex
+
+// NumOtherPages is the Scan Table's comparison-entry count (31).
+const NumOtherPages = pageforge.NumOtherPages
+
+// NewEngine builds a PageForge hardware module over the hypervisor's
+// physical memory, behind a default memory controller and DDR model. Use
+// the Table 1 methods (InsertPPN, InsertPFE, UpdatePFE, GetPFEInfo,
+// UpdateECCOffset) plus Trigger to drive it directly.
+func NewEngine(hv *Hypervisor) *Engine {
+	mc := memctrl.New(dram.New(dram.DefaultConfig()), hv.Phys, nil)
+	return pageforge.NewEngine(mc)
+}
+
+// NewPageForgeDriver builds the OS-side driver running the KSM algorithm
+// on the given engine, with hash keys generated by the hardware.
+func NewPageForgeDriver(hv *Hypervisor, engine *Engine) *Driver {
+	return pageforge.NewDriver(ksm.NewAlgorithm(hv, ksm.NewECCHasher()), engine, pageforge.DefaultDriverConfig())
+}
+
+// ECCPageKey computes the 32-bit ECC-based hash key of a 4KB page, the
+// reference for what the hardware assembles from snatched ECC codes.
+func ECCPageKey(page []byte, offsets KeyOffsets) uint32 { return ecc.PageKey(page, offsets) }
+
+// DefaultKeyOffsets is the profiled sampling configuration.
+var DefaultKeyOffsets = ecc.DefaultKeyOffsets
+
+// --- Experiments -------------------------------------------------------------
+
+// Suite shares simulation runs across the paper's experiments.
+type Suite = experiments.Suite
+
+// NewSuite builds the full-scale experiment suite (all five applications,
+// paper-sized parameters).
+func NewSuite() *Suite { return experiments.NewSuite() }
+
+// NewFastSuite is a scaled-down suite for quick demos and CI.
+func NewFastSuite() *Suite { return experiments.NewFastSuite() }
+
+// Figure7 measures memory allocation with and without page merging.
+func Figure7(s *Suite) (*experiments.Fig7Result, error) { return experiments.Figure7(s) }
+
+// Figure8 compares jhash-based and ECC-based hash-key accuracy.
+func Figure8(s *Suite) (*experiments.Fig8Result, error) { return experiments.Figure8(s) }
+
+// Table4 characterizes the software KSM configuration.
+func Table4(s *Suite) (*experiments.Table4Result, error) { return experiments.Table4(s) }
+
+// LatencyExperiment produces Figures 9 (mean sojourn latency) and 10 (tail
+// latency) for all three configurations.
+func LatencyExperiment(s *Suite) (*experiments.LatencyResult, error) { return experiments.Latency(s) }
+
+// Figure11 reports memory bandwidth during the most memory-intensive
+// deduplication phase.
+func Figure11(s *Suite) (*experiments.Fig11Result, error) { return experiments.Figure11(s) }
+
+// Table5 reports PageForge's operation timing and hardware cost.
+func Table5(s *Suite) (*experiments.Table5Result, error) { return experiments.Table5(s) }
+
+// Satori runs the extension experiment on short-lived sharing capture
+// versus scanning aggressiveness (the paper's §7.2 discussion of Satori).
+func Satori(s *Suite) (*experiments.SatoriResult, error) { return experiments.Satori(s) }
+
+// Timeline measures the savings convergence ramp of both engines on one
+// application under identical tunables.
+func Timeline(s *Suite, app Profile, intervals int) (*experiments.TimelineResult, error) {
+	return experiments.Timeline(s, app, intervals)
+}
+
+// --- Hardware cost model ------------------------------------------------------
+
+// Estimate is an area/power figure from the analytical model.
+type Estimate = power.Estimate
+
+// PageForgeHardware estimates the module's area and power at 22nm
+// (Table 5: 0.029 mm², 0.037 W).
+func PageForgeHardware() power.PageForgeBreakdown {
+	return power.PageForgeModule(power.Tech22HP)
+}
