@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# ci is the gate every change must pass: compile, static checks, and the
+# full test suite under the race detector (the experiment suite runs its
+# simulations through a concurrent worker pool).
+ci: build vet race

@@ -154,6 +154,28 @@ func BenchmarkTable5(b *testing.B) {
 	}
 }
 
+// benchmarkSuiteMatrix measures the wall-clock of the full fast-suite
+// (mode × app) matrix at the given worker-pool width. Comparing the
+// Sequential and Parallel variants gives the runner's speedup; on a
+// multicore host Parallel4 should be ≥2x faster (runs are hermetic and
+// CPU-bound). Results are bit-identical at any width (see the
+// TestParallelMatchesSequential determinism test).
+func benchmarkSuiteMatrix(b *testing.B, parallel int) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite("img_dnn", "silo")
+		s.Parallelism = parallel
+		if err := s.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSequential runs the matrix one simulation at a time.
+func BenchmarkSuiteSequential(b *testing.B) { benchmarkSuiteMatrix(b, 1) }
+
+// BenchmarkSuiteParallel4 runs the matrix through a 4-worker pool.
+func BenchmarkSuiteParallel4(b *testing.B) { benchmarkSuiteMatrix(b, 4) }
+
 // --- Ablations (Section 4's design discussion) ------------------------------
 
 // buildAblationWorld creates a converged deployment and a fresh PageForge

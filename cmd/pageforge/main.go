@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	pageforgesim "repro"
 	"repro/internal/experiments"
+	"repro/internal/platform"
 )
 
 func main() {
@@ -42,7 +44,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pageforge list
-  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|satori|timeline] [-apps a,b] [-fast] [-seed N]
+  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|satori|timeline] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet]
   pageforge sweep [-app name] [-pages N] [-seconds S]`)
 }
 
@@ -77,6 +79,8 @@ func run(args []string) {
 	apps := fs.String("apps", "", "comma-separated application subset")
 	fast := fs.Bool("fast", false, "scaled-down quick mode")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs (results are bit-identical at any setting)")
+	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
 	fs.Parse(args)
 
 	var suite *experiments.Suite
@@ -109,6 +113,44 @@ func run(args []string) {
 		os.Exit(1)
 	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	// Fan the selected experiments' (mode × app) simulation matrix out
+	// across the worker pool up front; the experiments then render from
+	// the warm cache. Progress and the duration summary go to stderr so
+	// stdout stays pure tables.
+	suite.Parallelism = *parallel
+	var progress *experiments.ProgressReporter
+	if !*quiet {
+		progress = experiments.NewProgressReporter(os.Stderr)
+		suite.Reporter = progress
+	}
+	modeSet := map[platform.Mode]bool{}
+	if want("fig7") {
+		modeSet[platform.KSM] = true
+	}
+	if want("table4") {
+		modeSet[platform.Baseline] = true
+		modeSet[platform.KSM] = true
+	}
+	if want("fig9") || want("fig10") || want("fig11") {
+		for _, m := range experiments.AllModes() {
+			modeSet[m] = true
+		}
+	}
+	if want("table5") {
+		modeSet[platform.PageForge] = true
+	}
+	if len(modeSet) > 0 {
+		var modes []platform.Mode
+		for _, m := range experiments.AllModes() {
+			if modeSet[m] {
+				modes = append(modes, m)
+			}
+		}
+		if err := suite.RunAll(modes...); err != nil {
+			fail(err)
+		}
+	}
 
 	if want("fig7") {
 		r, err := pageforgesim.Figure7(suite)
@@ -172,6 +214,9 @@ func run(args []string) {
 			}
 			fmt.Println(r)
 		}
+	}
+	if progress != nil && len(modeSet) > 0 {
+		fmt.Fprintln(os.Stderr, "\n"+progress.Summary())
 	}
 }
 

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/tailbench"
+)
+
+// TestParallelMatchesSequential is the determinism audit: the same fast
+// suite run strictly sequentially and with a 4-way worker pool must
+// produce bit-identical structured results for every (mode, app) key —
+// every run owns its image, cache hierarchy, DRAM model, and RNG streams,
+// so scheduling must not leak into the results.
+func TestParallelMatchesSequential(t *testing.T) {
+	build := func(parallelism int) *Suite {
+		s := fastSuiteOneApp(t, "img_dnn", "silo")
+		s.Parallelism = parallelism
+		return s
+	}
+	seq := build(1)
+	if err := seq.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	par := build(4)
+	if err := par.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range AllModes() {
+		for _, app := range seq.Apps {
+			a, err := seq.Result(mode, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.Result(mode, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s/%s: parallel result diverged from sequential:\nseq: %+v\npar: %+v",
+					mode, app.Name, a, b)
+			}
+		}
+	}
+}
+
+// TestSuiteResultSingleflight hammers Result from many goroutines for the
+// same and different keys and asserts exactly one platform run per key,
+// with every caller receiving the same result pointer.
+func TestSuiteResultSingleflight(t *testing.T) {
+	s := NewFastSuite()
+	var mu sync.Mutex
+	runs := map[string]int{}
+	s.runFn = func(mode platform.Mode, app tailbench.Profile, _ platform.Config) (*platform.Result, error) {
+		key := fmt.Sprintf("%s/%s", mode, app.Name)
+		mu.Lock()
+		runs[key]++
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond) // widen the race window
+		return &platform.Result{Mode: mode, App: app}, nil
+	}
+
+	keys := 0
+	got := make(map[string]map[*platform.Result]bool)
+	var gotMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, mode := range AllModes() {
+		for _, app := range s.Apps {
+			keys++
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(mode platform.Mode, app tailbench.Profile) {
+					defer wg.Done()
+					r, err := s.Result(mode, app)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					key := fmt.Sprintf("%s/%s", mode, app.Name)
+					gotMu.Lock()
+					if got[key] == nil {
+						got[key] = make(map[*platform.Result]bool)
+					}
+					got[key][r] = true
+					gotMu.Unlock()
+				}(mode, app)
+			}
+		}
+	}
+	wg.Wait()
+
+	if len(runs) != keys {
+		t.Fatalf("%d keys executed, want %d", len(runs), keys)
+	}
+	for key, n := range runs {
+		if n != 1 {
+			t.Fatalf("%s: %d executions, want exactly 1", key, n)
+		}
+		if len(got[key]) != 1 {
+			t.Fatalf("%s: callers saw %d distinct results, want 1 shared", key, len(got[key]))
+		}
+	}
+}
+
+// TestSuiteResultSharesErrors verifies a failing run is also executed once
+// and its error shared by every caller.
+func TestSuiteResultSharesErrors(t *testing.T) {
+	s := NewFastSuite()
+	boom := errors.New("boom")
+	calls := 0
+	s.runFn = func(platform.Mode, tailbench.Profile, platform.Config) (*platform.Result, error) {
+		calls++
+		return nil, boom
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Result(platform.KSM, s.Apps[0]); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want wrapped boom", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing run executed %d times, want 1 (cached error)", calls)
+	}
+}
+
+// TestRunAllBoundsWorkers checks the pool never exceeds Parallelism
+// concurrent runs.
+func TestRunAllBoundsWorkers(t *testing.T) {
+	s := NewFastSuite()
+	s.Parallelism = 3
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	s.runFn = func(mode platform.Mode, app tailbench.Profile, _ platform.Config) (*platform.Result, error) {
+		mu.Lock()
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		cur--
+		mu.Unlock()
+		return &platform.Result{Mode: mode, App: app}, nil
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 3 {
+		t.Fatalf("worker pool peaked at %d concurrent runs, bound is 3", peak)
+	}
+	if peak < 2 {
+		t.Fatalf("worker pool peaked at %d concurrent runs, expected overlap", peak)
+	}
+}
+
+// TestProgressReporter exercises the reporter through a parallel RunAll
+// and the summary rendering.
+func TestProgressReporter(t *testing.T) {
+	var buf strings.Builder
+	s := NewFastSuite()
+	s.Apps = s.Apps[:2]
+	s.Parallelism = 4
+	rep := NewProgressReporter(&buf)
+	s.Reporter = rep
+	s.runFn = func(mode platform.Mode, app tailbench.Profile, _ platform.Config) (*platform.Result, error) {
+		return &platform.Result{Mode: mode, App: app}, nil
+	}
+	if err := s.RunAll(platform.KSM); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "run  KSM") || !strings.Contains(out, "done KSM") {
+		t.Fatalf("progress lines missing:\n%s", out)
+	}
+	sum := rep.Summary()
+	if !strings.Contains(sum, "2 runs") || !strings.Contains(sum, "KSM") {
+		t.Fatalf("summary missing runs:\n%s", sum)
+	}
+}
+
+// TestTableWideRow guards the renderer against rows wider than the header
+// (it used to index widths out of range and panic).
+func TestTableWideRow(t *testing.T) {
+	tb := &table{
+		title:  "wide",
+		header: []string{"A", "B"},
+	}
+	tb.add("1", "2", "3-overflows-header")
+	tb.add("only-one")
+	out := tb.String()
+	if !strings.Contains(out, "3-overflows-header") {
+		t.Fatalf("overflow cell dropped:\n%s", out)
+	}
+}

@@ -9,6 +9,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/platform"
 	"repro/internal/tailbench"
@@ -16,6 +18,11 @@ import (
 
 // Suite shares the expensive (mode, application) simulation runs across
 // experiments: Figures 9-11 and Tables 4-5 all consume the same runs.
+//
+// Result is safe for concurrent use from any number of goroutines: the
+// cache is singleflight-style, so two experiments requesting the same
+// (mode, app) run share one execution instead of duplicating or racing
+// it. RunAll fans the whole matrix out across a bounded worker pool.
 type Suite struct {
 	Cfg platform.Config
 	// Apps are the workloads to evaluate (default: all five TailBench
@@ -23,8 +30,31 @@ type Suite struct {
 	Apps []tailbench.Profile
 	// MinQueries controls queueing-simulation quality per VM.
 	MinQueries int
+	// Parallelism bounds how many platform runs RunAll executes
+	// concurrently (0 means GOMAXPROCS). Each run is hermetic — it owns
+	// its image, cache hierarchy, DRAM model, and RNG streams — so
+	// parallel execution is bit-identical to sequential for the same
+	// seeds.
+	Parallelism int
+	// Reporter, when non-nil, observes run start/finish events. It must
+	// be safe for concurrent use (ProgressReporter is).
+	Reporter Reporter
 
-	results map[string]*platform.Result
+	mu      sync.Mutex
+	results map[string]*runEntry
+
+	// runFn is the simulation entry point; tests substitute it to observe
+	// scheduling without paying for real runs.
+	runFn func(platform.Mode, tailbench.Profile, platform.Config) (*platform.Result, error)
+}
+
+// runEntry is one singleflight cache slot: the first goroutine to arrive
+// executes the run inside once; every later goroutine for the same key
+// blocks on the same once and shares the outcome.
+type runEntry struct {
+	once sync.Once
+	res  *platform.Result
+	err  error
 }
 
 // NewSuite builds a suite over the paper's default setup.
@@ -33,7 +63,8 @@ func NewSuite() *Suite {
 		Cfg:        platform.DefaultConfig(),
 		Apps:       tailbench.Profiles(),
 		MinQueries: 2000,
-		results:    make(map[string]*platform.Result),
+		results:    make(map[string]*runEntry),
+		runFn:      platform.Run,
 	}
 }
 
@@ -51,18 +82,40 @@ func NewFastSuite() *Suite {
 }
 
 // Result returns the cached simulation result for (mode, app), running it
-// on first use.
+// on first use. Concurrent callers for the same key share one execution.
 func (s *Suite) Result(mode platform.Mode, app tailbench.Profile) (*platform.Result, error) {
 	key := fmt.Sprintf("%s/%s", mode, app.Name)
-	if r, ok := s.results[key]; ok {
-		return r, nil
+	s.mu.Lock()
+	if s.results == nil {
+		s.results = make(map[string]*runEntry)
 	}
-	r, err := platform.Run(mode, app, s.Cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s on %s: %w", mode, app.Name, err)
+	if s.runFn == nil {
+		s.runFn = platform.Run
 	}
-	s.results[key] = r
-	return r, nil
+	e, ok := s.results[key]
+	if !ok {
+		e = &runEntry{}
+		s.results[key] = e
+	}
+	s.mu.Unlock()
+
+	e.once.Do(func() {
+		rep := s.Reporter
+		if rep != nil {
+			rep.RunStarted(mode, app.Name)
+		}
+		start := time.Now()
+		r, err := s.runFn(mode, app, s.Cfg)
+		if err != nil {
+			e.err = fmt.Errorf("experiments: %s on %s: %w", mode, app.Name, err)
+		} else {
+			e.res = r
+		}
+		if rep != nil {
+			rep.RunFinished(mode, app.Name, time.Since(start), e.err)
+		}
+	})
+	return e.res, e.err
 }
 
 // --- rendering helpers ----------------------------------------------------
@@ -77,13 +130,21 @@ type table struct {
 func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
 
 func (t *table) String() string {
-	widths := make([]int, len(t.header))
+	// A row may carry more cells than the header; size the widths to the
+	// widest row so rendering never indexes out of range.
+	ncols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

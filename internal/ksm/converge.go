@@ -1,0 +1,32 @@
+package ksm
+
+// RunConvergence drives an engine through full scan passes until a pass
+// completes with no new merges, or maxPasses is reached, returning the
+// number of passes run. scanOne advances the engine by one candidate and
+// reports whether a candidate was available; the engine's merge counters
+// are read from alg. Both the software scanner and the PageForge driver
+// converge through this loop so their pass-counting semantics cannot
+// drift.
+func RunConvergence(alg *Algorithm, maxPasses int, scanOne func() bool) int {
+	for p := 0; p < maxPasses; p++ {
+		mergesBefore := alg.Stats.StableMerges + alg.Stats.UnstableMerges
+		pages := alg.MergeablePages()
+		if pages == 0 {
+			return p
+		}
+		for i := 0; i < pages; i++ {
+			if !scanOne() {
+				return p
+			}
+		}
+		// The p > 0 guard: the first pass can finish with zero merges even
+		// on a duplicate-rich image, because the unstable tree starts empty
+		// and pass 0 only populates it — candidates meet their duplicates
+		// no earlier than pass 1. "No new merges" therefore only means
+		// converged after at least one populating pass has run.
+		if alg.Stats.StableMerges+alg.Stats.UnstableMerges == mergesBefore && p > 0 {
+			return p + 1
+		}
+	}
+	return maxPasses
+}

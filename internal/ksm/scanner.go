@@ -216,20 +216,8 @@ func (s *Scanner) chargeHash(bytes uint64) {
 // merges, or maxPasses is reached. It returns the number of passes run.
 // Memory-savings experiments (Figure 7) measure after this converges.
 func (s *Scanner) RunToSteadyState(maxPasses int) int {
-	for p := 0; p < maxPasses; p++ {
-		mergesBefore := s.Alg.Stats.StableMerges + s.Alg.Stats.UnstableMerges
-		pages := s.Alg.MergeablePages()
-		if pages == 0 {
-			return p
-		}
-		for i := 0; i < pages; i++ {
-			if _, _, ok := s.ScanOne(); !ok {
-				return p
-			}
-		}
-		if s.Alg.Stats.StableMerges+s.Alg.Stats.UnstableMerges == mergesBefore && p > 0 {
-			return p + 1
-		}
-	}
-	return maxPasses
+	return RunConvergence(s.Alg, maxPasses, func() bool {
+		_, _, ok := s.ScanOne()
+		return ok
+	})
 }

@@ -19,11 +19,19 @@ type Stats struct {
 	PFFetches        uint64 // PageForge line fetches requested
 	PFNetworkHits    uint64 // serviced by the on-chip network (caches)
 	PFDRAMReads      uint64 // serviced by the local DRAM
-	PFCoalesced      uint64 // folded into an in-flight request
+	PFCoalesced      uint64 // PageForge fetches folded into an in-flight read
+	DemandCoalesced  uint64 // demand reads folded into an in-flight read
 	ECCEncodes       uint64 // lines encoded (writes + network-serviced fetches)
 	ECCDecodes       uint64 // lines decoded (DRAM reads)
 	ECCCorrected     uint64
 	ECCUncorrectable uint64
+}
+
+// pendingRead is one in-flight read: its completion cycle and the source
+// that issued it, so coalescing can be attributed to the right side.
+type pendingRead struct {
+	done uint64
+	src  dram.Source
 }
 
 // Controller is one memory controller. The platform instantiates two and
@@ -42,7 +50,7 @@ type Controller struct {
 	FaultInject func(addr uint64, line []byte)
 
 	Stats   Stats
-	pending map[uint64]uint64 // line addr -> completion cycle of in-flight read
+	pending map[uint64]pendingRead // line addr -> in-flight read
 }
 
 // New wires a controller over a DRAM model and backing store.
@@ -52,29 +60,36 @@ func New(d *dram.DRAM, phys *mem.Phys, hier *cache.Hierarchy) *Controller {
 		Phys:           phys,
 		Hier:           hier,
 		NetworkLatency: 40, // bus + L3 tag + transfer on the 512b bus
-		pending:        make(map[uint64]uint64),
+		pending:        make(map[uint64]pendingRead),
 	}
 }
 
 // DemandAccess services a cache-hierarchy fill or write-back at cycle now
-// and returns its latency. Reads coalesce with in-flight PageForge reads
-// for the same line (Section 3.2.2). src attributes the DRAM traffic: core
-// demand, or the software KSM kthread streaming pages through the caches.
+// and returns its latency. Reads coalesce with any in-flight read for the
+// same line — PageForge-issued (Section 3.2.2) or earlier demand traffic —
+// counted under Stats.DemandCoalesced; writes invalidate the pending entry
+// so later reads cannot fold into a pre-write completion window. src
+// attributes the DRAM traffic: core demand, or the software KSM kthread
+// streaming pages through the caches.
 func (c *Controller) DemandAccess(addr uint64, now uint64, write bool, src dram.Source) uint64 {
 	lineAddr := addr &^ uint64(mem.LineSize-1)
 	if write {
 		c.Stats.DemandWrites++
 		c.Stats.ECCEncodes++
+		// The write supersedes any in-flight read for this line: a later
+		// read must not coalesce into the pre-write read's completion
+		// window and observe stale data timing.
+		delete(c.pending, lineAddr)
 		return c.DRAM.Access(lineAddr, now, true, src)
 	}
 	c.Stats.DemandReads++
-	if done, ok := c.pending[lineAddr]; ok && done > now {
-		c.Stats.PFCoalesced++
-		return done - now
+	if p, ok := c.pending[lineAddr]; ok && p.done > now {
+		c.Stats.DemandCoalesced++
+		return p.done - now
 	}
 	c.Stats.ECCDecodes++
 	lat := c.DRAM.Access(lineAddr, now, false, src)
-	c.trackPending(lineAddr, now, now+lat)
+	c.trackPending(lineAddr, now, now+lat, src)
 	return lat
 }
 
@@ -105,16 +120,16 @@ func (c *Controller) FetchLine(pfn mem.PFN, lineIdx int, now uint64, src dram.So
 		return FetchResult{Data: data, Code: ecc.EncodeLine(data), Latency: c.NetworkLatency, FromNetwork: true}
 	}
 
-	if done, ok := c.pending[addr]; ok && done > now {
+	if p, ok := c.pending[addr]; ok && p.done > now {
 		// Another request for this line is already in flight: coalesce.
 		c.Stats.PFCoalesced++
-		return FetchResult{Data: data, Code: c.dimmCode(addr, data), Latency: done - now}
+		return FetchResult{Data: data, Code: c.dimmCode(addr, data), Latency: p.done - now}
 	}
 
 	c.Stats.PFDRAMReads++
 	c.Stats.ECCDecodes++
 	lat := c.DRAM.Access(addr, now, false, src)
-	c.trackPending(addr, now, now+lat)
+	c.trackPending(addr, now, now+lat, src)
 	return FetchResult{Data: data, Code: c.dimmCode(addr, data), Latency: lat}
 }
 
@@ -140,13 +155,13 @@ func (c *Controller) dimmCode(addr uint64, data []byte) ecc.LineCode {
 
 // trackPending records an in-flight read and prunes already-completed
 // entries so the map stays small.
-func (c *Controller) trackPending(addr, now, done uint64) {
+func (c *Controller) trackPending(addr, now, done uint64, src dram.Source) {
 	if len(c.pending) > 4096 {
-		for a, d := range c.pending {
-			if d <= now {
+		for a, p := range c.pending {
+			if p.done <= now {
 				delete(c.pending, a)
 			}
 		}
 	}
-	c.pending[addr] = done
+	c.pending[addr] = pendingRead{done: done, src: src}
 }

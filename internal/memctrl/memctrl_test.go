@@ -112,11 +112,66 @@ func TestDemandCoalescesWithPageForge(t *testing.T) {
 	pfn := fillFrame(phys)
 	pf := c.FetchLine(pfn, 0, 100, dram.SrcPageForge)
 	lat := c.DemandAccess(uint64(pfn.LineAddr(0)), 110, false, dram.SrcCore)
-	if c.Stats.PFCoalesced != 1 {
+	if c.Stats.DemandCoalesced != 1 {
 		t.Fatal("demand read did not coalesce with in-flight PageForge read")
+	}
+	if c.Stats.PFCoalesced != 0 {
+		t.Fatal("demand-side coalescing miscounted as PageForge coalescing")
 	}
 	if 110+lat != 100+pf.Latency {
 		t.Fatal("coalesced demand completion mismatch")
+	}
+}
+
+func TestDemandCoalescesWithDemand(t *testing.T) {
+	c, phys, _ := newCtrl(4, false)
+	pfn := fillFrame(phys)
+	addr := uint64(pfn.LineAddr(0))
+	first := c.DemandAccess(addr, 100, false, dram.SrcCore)
+	second := c.DemandAccess(addr, 110, false, dram.SrcCore)
+	if c.Stats.DemandCoalesced != 1 || c.Stats.PFCoalesced != 0 {
+		t.Fatalf("demand/demand coalescing misattributed: %+v", c.Stats)
+	}
+	if 110+second != 100+first {
+		t.Fatal("coalesced demand completion mismatch")
+	}
+	if p := c.pending[addr]; p.src != dram.SrcCore {
+		t.Fatalf("pending entry tagged %v, want demand source", p.src)
+	}
+}
+
+func TestFetchCoalescesWithDemand(t *testing.T) {
+	c, phys, _ := newCtrl(4, false)
+	pfn := fillFrame(phys)
+	addr := uint64(pfn.LineAddr(0))
+	lat := c.DemandAccess(addr, 100, false, dram.SrcCore)
+	res := c.FetchLine(pfn, 0, 110, dram.SrcPageForge)
+	if c.Stats.PFCoalesced != 1 || c.Stats.DemandCoalesced != 0 {
+		t.Fatalf("PageForge-side coalescing misattributed: %+v", c.Stats)
+	}
+	if 110+res.Latency != 100+lat {
+		t.Fatal("coalesced fetch completion mismatch")
+	}
+}
+
+func TestDemandWriteInvalidatesPending(t *testing.T) {
+	c, phys, _ := newCtrl(4, false)
+	pfn := fillFrame(phys)
+	addr := uint64(pfn.LineAddr(0))
+	c.DemandAccess(addr, 100, false, dram.SrcCore) // read in flight
+	c.DemandAccess(addr, 110, true, dram.SrcCore)  // write to the same line
+	if _, ok := c.pending[addr]; ok {
+		t.Fatal("write left the pending read entry alive")
+	}
+	// A later read must be a fresh DRAM access, not a fold into the
+	// pre-write read's completion window.
+	reads := c.Stats.ECCDecodes
+	c.DemandAccess(addr, 120, false, dram.SrcCore)
+	if c.Stats.DemandCoalesced != 0 {
+		t.Fatal("post-write read coalesced into the stale pending entry")
+	}
+	if c.Stats.ECCDecodes != reads+1 {
+		t.Fatal("post-write read did not go to DRAM")
 	}
 }
 

@@ -302,25 +302,15 @@ func (d *Driver) ScanBatch(n int, now uint64) (scanned, mergedCount int, doneAt 
 }
 
 // RunToSteadyState drives full passes until a pass completes no new merges
-// (or maxPasses), mirroring ksm.Scanner.RunToSteadyState.
+// (or maxPasses), sharing ksm.RunConvergence's pass-counting semantics
+// with the software scanner.
 func (d *Driver) RunToSteadyState(maxPasses int) int {
 	now := uint64(0)
-	for p := 0; p < maxPasses; p++ {
-		mergesBefore := d.Alg.Stats.StableMerges + d.Alg.Stats.UnstableMerges
-		pages := d.Alg.MergeablePages()
-		if pages == 0 {
-			return p
-		}
-		for i := 0; i < pages; i++ {
-			_, t, ok := d.ScanOne(now)
-			if !ok {
-				return p
-			}
+	return ksm.RunConvergence(d.Alg, maxPasses, func() bool {
+		_, t, ok := d.ScanOne(now)
+		if ok {
 			now = t
 		}
-		if d.Alg.Stats.StableMerges+d.Alg.Stats.UnstableMerges == mergesBefore && p > 0 {
-			return p + 1
-		}
-	}
-	return maxPasses
+		return ok
+	})
 }

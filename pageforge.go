@@ -268,8 +268,20 @@ var DefaultKeyOffsets = ecc.DefaultKeyOffsets
 
 // --- Experiments -------------------------------------------------------------
 
-// Suite shares simulation runs across the paper's experiments.
+// Suite shares simulation runs across the paper's experiments. Its Result
+// cache is concurrency-safe (singleflight), its RunAll method fans the
+// (mode × app) matrix across a worker pool bounded by Suite.Parallelism,
+// and parallel execution is bit-identical to sequential for the same
+// seeds.
 type Suite = experiments.Suite
+
+// SuiteReporter observes experiment-suite run lifecycle events; attach one
+// via Suite.Reporter. Implementations must be safe for concurrent use.
+type SuiteReporter = experiments.Reporter
+
+// SuiteProgressReporter streams per-run progress lines and collects a
+// wall-clock duration summary across a (possibly parallel) suite run.
+type SuiteProgressReporter = experiments.ProgressReporter
 
 // NewSuite builds the full-scale experiment suite (all five applications,
 // paper-sized parameters).
@@ -277,6 +289,15 @@ func NewSuite() *Suite { return experiments.NewSuite() }
 
 // NewFastSuite is a scaled-down suite for quick demos and CI.
 func NewFastSuite() *Suite { return experiments.NewFastSuite() }
+
+// NewSuiteProgressReporter builds a progress reporter writing per-run
+// lines to w; its Summary method renders the duration table afterwards.
+func NewSuiteProgressReporter(w io.Writer) *SuiteProgressReporter {
+	return experiments.NewProgressReporter(w)
+}
+
+// AllModes is the paper's full configuration matrix, in run order.
+func AllModes() []Mode { return experiments.AllModes() }
 
 // Figure7 measures memory allocation with and without page merging.
 func Figure7(s *Suite) (*experiments.Fig7Result, error) { return experiments.Figure7(s) }
