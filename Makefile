@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench fuzz ci
 
 build:
 	$(GO) build ./...
@@ -17,7 +18,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# ci is the gate every change must pass: compile, static checks, and the
-# full test suite under the race detector (the experiment suite runs its
-# simulations through a concurrent worker pool).
-ci: build vet race
+# fuzz gives the ECC decoder and page-key contracts a short native-fuzzing
+# budget per target (raise FUZZTIME for a real campaign). Any ≤2-bit
+# corruption must be corrected or detected, never silently miscorrected.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/ecc/
+	$(GO) test -run='^$$' -fuzz='^FuzzPageKey$$' -fuzztime=$(FUZZTIME) ./internal/ecc/
+
+# ci is the gate every change must pass: compile, static checks, the full
+# test suite under the race detector (the experiment suite runs its
+# simulations through a concurrent worker pool), and the short fuzz budget.
+ci: build vet race fuzz

@@ -3,12 +3,13 @@
 // Usage:
 //
 //	pageforge list
-//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|satori|timeline]
-//	              [-apps img_dnn,silo,...] [-fast] [-seed N]
+//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|satori|timeline|ras]
+//	              [-apps img_dnn,silo,...] [-fast] [-seed N] [-fault-rate r1,r2,...]
 //
 // Each experiment prints the same rows/series the corresponding table or
 // figure of the paper reports, with the paper's headline numbers noted for
-// comparison.
+// comparison. A failing experiment is reported on stderr and the remaining
+// selections still run; the exit status is then non-zero.
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	pageforgesim "repro"
@@ -44,7 +46,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pageforge list
-  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|satori|timeline] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet]
+  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|satori|timeline|ras] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...]
   pageforge sweep [-app name] [-pages N] [-seconds S]`)
 }
 
@@ -60,6 +62,7 @@ func list() {
 		{"table5", "Table 5: PageForge timing, area, and power"},
 		{"satori", "Extension: short-lived sharing capture vs scan aggressiveness (Satori, §7.2)"},
 		{"timeline", "Extension: savings convergence ramp, KSM vs PageForge"},
+		{"ras", "Extension: DRAM fault rate vs merge coverage, scrub/retry overhead, degradation"},
 	} {
 		fmt.Printf("  %-7s %s\n", e[0], e[1])
 	}
@@ -81,7 +84,20 @@ func run(args []string) {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs (results are bit-identical at any setting)")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
+	faultRates := fs.String("fault-rate", "", "comma-separated UE-per-read rates for the ras experiment (default sweep when empty)")
 	fs.Parse(args)
+
+	var rates []float64
+	if *faultRates != "" {
+		for _, tok := range strings.Split(*faultRates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -fault-rate %q: %v\n", tok, err)
+				os.Exit(2)
+			}
+			rates = append(rates, v)
+		}
+	}
 
 	var suite *experiments.Suite
 	if *fast {
@@ -108,9 +124,13 @@ func run(args []string) {
 		suite.Apps = sel
 	}
 
+	// A failing experiment must not silently take the rest down: the error
+	// is reported, the remaining selections still run, and the process
+	// exits non-zero at the end.
+	exitCode := 0
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		exitCode = 1
 	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -153,70 +173,80 @@ func run(args []string) {
 	}
 
 	if want("fig7") {
-		r, err := pageforgesim.Figure7(suite)
-		if err != nil {
+		if r, err := pageforgesim.Figure7(suite); err != nil {
 			fail(err)
+		} else {
+			fmt.Println(r)
 		}
-		fmt.Println(r)
 	}
 	if want("fig8") {
-		r, err := pageforgesim.Figure8(suite)
-		if err != nil {
+		if r, err := pageforgesim.Figure8(suite); err != nil {
 			fail(err)
+		} else {
+			fmt.Println(r)
 		}
-		fmt.Println(r)
 	}
 	if want("table4") {
-		r, err := pageforgesim.Table4(suite)
-		if err != nil {
+		if r, err := pageforgesim.Table4(suite); err != nil {
 			fail(err)
+		} else {
+			fmt.Println(r)
 		}
-		fmt.Println(r)
 	}
 	if want("fig9") || want("fig10") {
-		r, err := pageforgesim.LatencyExperiment(suite)
-		if err != nil {
+		if r, err := pageforgesim.LatencyExperiment(suite); err != nil {
 			fail(err)
-		}
-		if want("fig9") {
-			fmt.Println(r.Figure9())
-		}
-		if want("fig10") {
-			fmt.Println(r.Figure10())
+		} else {
+			if want("fig9") {
+				fmt.Println(r.Figure9())
+			}
+			if want("fig10") {
+				fmt.Println(r.Figure10())
+			}
 		}
 	}
 	if want("fig11") {
-		r, err := pageforgesim.Figure11(suite)
-		if err != nil {
+		if r, err := pageforgesim.Figure11(suite); err != nil {
 			fail(err)
+		} else {
+			fmt.Println(r)
 		}
-		fmt.Println(r)
 	}
 	if want("table5") {
-		r, err := pageforgesim.Table5(suite)
-		if err != nil {
+		if r, err := pageforgesim.Table5(suite); err != nil {
 			fail(err)
+		} else {
+			fmt.Println(r)
 		}
-		fmt.Println(r)
 	}
 	if want("satori") {
-		r, err := pageforgesim.Satori(suite)
-		if err != nil {
+		if r, err := pageforgesim.Satori(suite); err != nil {
 			fail(err)
+		} else {
+			fmt.Println(r)
 		}
-		fmt.Println(r)
 	}
 	if want("timeline") {
 		for _, app := range suite.Apps {
-			r, err := pageforgesim.Timeline(suite, app, 60)
-			if err != nil {
+			if r, err := pageforgesim.Timeline(suite, app, 60); err != nil {
 				fail(err)
+			} else {
+				fmt.Println(r)
 			}
+		}
+	}
+	if want("ras") {
+		if r, err := pageforgesim.RASExperiment(suite, rates); err != nil {
+			fail(err)
+		} else {
 			fmt.Println(r)
 		}
 	}
 	if progress != nil && len(modeSet) > 0 {
 		fmt.Fprintln(os.Stderr, "\n"+progress.Summary())
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }
 

@@ -20,6 +20,7 @@ const (
 	SrcCore      Source = iota // demand traffic from the cores/caches
 	SrcKSM                     // software page-deduplication traffic
 	SrcPageForge               // PageForge engine traffic
+	SrcScrub                   // patrol-scrub background traffic
 	numSources
 )
 
@@ -32,6 +33,8 @@ func (s Source) String() string {
 		return "ksm"
 	case SrcPageForge:
 		return "pageforge"
+	case SrcScrub:
+		return "scrub"
 	default:
 		return "?"
 	}
@@ -164,7 +167,9 @@ func (d *DRAM) Access(addr uint64, now uint64, write bool, src Source) uint64 {
 	g := d.Decode(addr)
 	bk := &d.banks[g.Channel][g.Bank]
 	chn := &d.chans[g.Channel]
-	demand := src != SrcPageForge
+	// Core and KSM traffic is demand-class; PageForge and the patrol
+	// scrubber are background-class and yield to it.
+	demand := src == SrcCore || src == SrcKSM
 
 	start := now + d.cfg.CtrlOverhead
 	if bk.nextFree > start {
@@ -248,7 +253,7 @@ func (d *DRAM) GBps(bytes uint64) float64 {
 // given sources, returning its index and the per-source bytes in it.
 // Figure 11 reports bandwidth in "the most memory-intensive phase of page
 // deduplication": the peak window of dedup traffic.
-func (d *DRAM) PeakWindow(srcs ...Source) (window uint64, bySrc [3]uint64, ok bool) {
+func (d *DRAM) PeakWindow(srcs ...Source) (window uint64, bySrc [numSources]uint64, ok bool) {
 	var best uint64
 	for _, s := range srcs {
 		for w, b := range d.windows[s] {

@@ -1,0 +1,102 @@
+package faults
+
+// Trip is the degradation policy: when the uncorrectable-error rate on the
+// PageForge fetch path crosses TripRate, the platform demotes the
+// hardware engine to software KSM; it may re-arm only after the rate
+// falls below ClearRate (hysteresis prevents flapping on a noisy rate
+// estimate, and the gap is deliberately wide — a DIMM that tripped once
+// is suspect).
+type Trip struct {
+	// TripRate is the smoothed UEs-per-fetch rate above which PageForge
+	// degrades to software KSM.
+	TripRate float64
+	// ClearRate is the rate below which a tripped tracker re-arms.
+	ClearRate float64
+	// Alpha is the EWMA smoothing weight of each observation window.
+	Alpha float64
+	// MinFetches is the minimum number of new fetches a window must carry
+	// before it updates the estimate; tiny windows are noise.
+	MinFetches uint64
+}
+
+// DefaultTrip degrades when more than ~1% of line fetches poison, and
+// re-arms only below 0.1%.
+func DefaultTrip() Trip {
+	return Trip{TripRate: 0.01, ClearRate: 0.001, Alpha: 0.4, MinFetches: 256}
+}
+
+// RateTracker maintains an exponentially-weighted UE-rate estimate from
+// cumulative controller counters and applies the Trip thresholds.
+type RateTracker struct {
+	cfg Trip
+
+	lastFetches uint64
+	lastUEs     uint64
+	rate        float64
+	seeded      bool
+	tripped     bool
+	trippedAt   uint64 // stamp of the observation that tripped
+	windows     uint64
+}
+
+// NewRateTracker builds a tracker; zero-valued Trip fields fall back to
+// the defaults so a partially-specified policy still behaves sanely.
+func NewRateTracker(cfg Trip) *RateTracker {
+	def := DefaultTrip()
+	if cfg.TripRate <= 0 {
+		cfg.TripRate = def.TripRate
+	}
+	if cfg.ClearRate <= 0 || cfg.ClearRate > cfg.TripRate {
+		cfg.ClearRate = cfg.TripRate / 10
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = def.Alpha
+	}
+	if cfg.MinFetches == 0 {
+		cfg.MinFetches = def.MinFetches
+	}
+	return &RateTracker{cfg: cfg}
+}
+
+// Observe feeds one observation window from cumulative counters: total
+// line fetches and total uncorrectable errors so far, plus an arbitrary
+// caller stamp (pass index, interval index) recorded at the trip point.
+// It returns true exactly when this observation trips the policy.
+func (t *RateTracker) Observe(fetchesCum, uesCum, stamp uint64) bool {
+	df := fetchesCum - t.lastFetches
+	if df < t.cfg.MinFetches {
+		return false
+	}
+	du := uesCum - t.lastUEs
+	t.lastFetches, t.lastUEs = fetchesCum, uesCum
+	w := float64(du) / float64(df)
+	if !t.seeded {
+		t.rate = w
+		t.seeded = true
+	} else {
+		t.rate += t.cfg.Alpha * (w - t.rate)
+	}
+	t.windows++
+	if !t.tripped && t.rate > t.cfg.TripRate {
+		t.tripped = true
+		t.trippedAt = stamp
+		return true
+	}
+	if t.tripped && t.rate < t.cfg.ClearRate {
+		t.tripped = false
+	}
+	return false
+}
+
+// Rate reports the current smoothed UEs-per-fetch estimate.
+func (t *RateTracker) Rate() float64 { return t.rate }
+
+// Degraded reports whether the tracker is currently tripped.
+func (t *RateTracker) Degraded() bool { return t.tripped }
+
+// TrippedAt reports the stamp passed to the tripping observation; valid
+// only if a trip has occurred.
+func (t *RateTracker) TrippedAt() uint64 { return t.trippedAt }
+
+// Windows reports how many observation windows updated the estimate.
+func (t *RateTracker) Windows() uint64 { return t.windows }

@@ -73,6 +73,7 @@ type Stats struct {
 	StablePruned   uint64 // stable nodes dropped after last sharer left
 	ZeroMerges     uint64 // pages merged with the dedicated zero frame
 	SmartSkips     uint64 // candidates skipped by smart scan
+	FaultFallbacks uint64 // candidates completed in software after a hardware UE abort
 }
 
 // Algorithm is the engine-independent state of the KSM algorithm.

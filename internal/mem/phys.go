@@ -132,6 +132,13 @@ func (p *Phys) frame(pfn PFN) *Frame {
 // Get returns the metadata of an allocated frame.
 func (p *Phys) Get(pfn PFN) *Frame { return p.frame(pfn) }
 
+// Allocated reports whether the frame currently backs any mapping. The
+// patrol scrubber uses it to walk the array without tripping the
+// unallocated-access panic.
+func (p *Phys) Allocated(pfn PFN) bool {
+	return int(pfn) < len(p.frames) && p.frames[pfn].refs > 0
+}
+
 // IncRef adds a mapping reference to the frame (page merging points an
 // additional guest page at it).
 func (p *Phys) IncRef(pfn PFN) { p.frame(pfn).refs++ }

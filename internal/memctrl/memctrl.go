@@ -34,6 +34,28 @@ type pendingRead struct {
 	src  dram.Source
 }
 
+// FaultModel corrupts line data arriving from the DRAM array before the
+// controller's ECC decoder sees it. Implementations must be deterministic
+// for a deterministic access sequence (the RAS experiments depend on it).
+// Rewrite tells the model a line was re-encoded and written back — a
+// demand write or a patrol-scrub repair — clearing accumulated soft
+// errors; hard faults survive it. faults.Model is the production
+// implementation; FaultFunc adapts ad-hoc test closures.
+type FaultModel interface {
+	Corrupt(addr, now uint64, line []byte)
+	Rewrite(addr, now uint64)
+}
+
+// FaultFunc adapts a plain corruption closure (the old FaultInject test
+// hook) to the FaultModel interface; rewrites are ignored.
+type FaultFunc func(addr uint64, line []byte)
+
+// Corrupt applies the closure.
+func (f FaultFunc) Corrupt(addr, now uint64, line []byte) { f(addr, line) }
+
+// Rewrite is a no-op: closure-injected faults carry no array state.
+func (f FaultFunc) Rewrite(addr, now uint64) {}
+
 // Controller is one memory controller. The platform instantiates two and
 // places the PageForge module in one of them (Figure 5).
 type Controller struct {
@@ -45,9 +67,9 @@ type Controller struct {
 	Hier *cache.Hierarchy
 	// NetworkLatency is the round-trip cost of a network-serviced fetch.
 	NetworkLatency uint64
-	// FaultInject, when set, flips bits in fetched line data before ECC
-	// decoding (testing hook for the SECDED path).
-	FaultInject func(addr uint64, line []byte)
+	// Faults, when set, corrupts line data fetched from the DIMM before
+	// ECC decoding (the RAS layer's DRAM fault model).
+	Faults FaultModel
 
 	Stats   Stats
 	pending map[uint64]pendingRead // line addr -> in-flight read
@@ -80,6 +102,11 @@ func (c *Controller) DemandAccess(addr uint64, now uint64, write bool, src dram.
 		// read must not coalesce into the pre-write read's completion
 		// window and observe stale data timing.
 		delete(c.pending, lineAddr)
+		if c.Faults != nil {
+			// A write re-encodes the line: accumulated soft errors in the
+			// array are overwritten along with the data.
+			c.Faults.Rewrite(lineAddr, now)
+		}
 		return c.DRAM.Access(lineAddr, now, true, src)
 	}
 	c.Stats.DemandReads++
@@ -101,6 +128,11 @@ type FetchResult struct {
 	// FromNetwork reports whether a cache supplied the line; the ECC code
 	// was then produced by the controller's encoder rather than the DIMM.
 	FromNetwork bool
+	// Poisoned reports an uncorrectable ECC error: Data is the raw
+	// corrupted read, Code is zeroed, and neither may be consumed — not
+	// for comparison verdicts and not for hash minikeys. The requester
+	// must retry, fall back to software, or quarantine.
+	Poisoned bool
 }
 
 // FetchLine services a PageForge request for one line of a physical frame
@@ -123,34 +155,47 @@ func (c *Controller) FetchLine(pfn mem.PFN, lineIdx int, now uint64, src dram.So
 	if p, ok := c.pending[addr]; ok && p.done > now {
 		// Another request for this line is already in flight: coalesce.
 		c.Stats.PFCoalesced++
-		return FetchResult{Data: data, Code: c.dimmCode(addr, data), Latency: p.done - now}
+		res := c.readDIMM(addr, now, data)
+		res.Latency = p.done - now
+		return res
 	}
 
 	c.Stats.PFDRAMReads++
 	c.Stats.ECCDecodes++
 	lat := c.DRAM.Access(addr, now, false, src)
 	c.trackPending(addr, now, now+lat, src)
-	return FetchResult{Data: data, Code: c.dimmCode(addr, data), Latency: lat}
+	res := c.readDIMM(addr, now, data)
+	res.Latency = lat
+	return res
 }
 
-// dimmCode produces the ECC code that arrives from the DIMM's spare chip
-// alongside the line. The simulation stores no separate ECC array — codes
-// are recomputed, which is bit-identical for error-free DIMMs. The fault
-// injection hook corrupts the data *after* code generation so the decode
-// path sees a genuine mismatch.
-func (c *Controller) dimmCode(addr uint64, data []byte) ecc.LineCode {
+// readDIMM models the DIMM read data path. The stored ECC code arrives
+// from the spare chip alongside the line (the simulation stores no
+// separate ECC array — codes are recomputed, bit-identical for error-free
+// cells), the fault model corrupts the wire/array data, and the decode
+// engine corrects what it can. An uncorrectable error yields a Poisoned
+// result carrying the raw corrupted data and a zero code; a corrected
+// error yields the repaired data with the (clean) stored code, so
+// minikeys always derive from post-correction content.
+func (c *Controller) readDIMM(addr, now uint64, data []byte) FetchResult {
 	code := ecc.EncodeLine(data)
-	if c.FaultInject != nil {
-		corrupted := make([]byte, len(data))
-		copy(corrupted, data)
-		c.FaultInject(addr, corrupted)
-		if _, st := ecc.DecodeLine(corrupted, code); st == ecc.CorrectedData || st == ecc.CorrectedCheck {
-			c.Stats.ECCCorrected++
-		} else if st == ecc.DetectedDouble {
-			c.Stats.ECCUncorrectable++
-		}
+	if c.Faults == nil {
+		return FetchResult{Data: data, Code: code}
 	}
-	return code
+	raw := make([]byte, len(data))
+	copy(raw, data)
+	c.Faults.Corrupt(addr, now, raw)
+	decoded, st := ecc.DecodeLine(raw, code)
+	switch st {
+	case ecc.OK:
+		return FetchResult{Data: data, Code: code}
+	case ecc.CorrectedData, ecc.CorrectedCheck:
+		c.Stats.ECCCorrected++
+		return FetchResult{Data: decoded, Code: code}
+	default:
+		c.Stats.ECCUncorrectable++
+		return FetchResult{Data: raw, Poisoned: true}
+	}
 }
 
 // trackPending records an in-flight read and prunes already-completed

@@ -186,17 +186,55 @@ func TestDemandWriteEncodesECC(t *testing.T) {
 func TestFaultInjectionPath(t *testing.T) {
 	c, phys, _ := newCtrl(4, false)
 	pfn := fillFrame(phys)
-	// Single-bit flip: corrected.
-	c.FaultInject = func(addr uint64, line []byte) { line[0] ^= 0x01 }
-	c.FetchLine(pfn, 0, 0, dram.SrcPageForge)
+	// Single-bit flip: corrected, and the returned data is the repaired
+	// (clean) line with its clean code.
+	c.Faults = FaultFunc(func(addr uint64, line []byte) { line[0] ^= 0x01 })
+	res := c.FetchLine(pfn, 0, 0, dram.SrcPageForge)
 	if c.Stats.ECCCorrected != 1 {
 		t.Fatalf("corrected = %d, want 1", c.Stats.ECCCorrected)
 	}
-	// Double-bit flip in one word: detected, uncorrectable.
-	c.FaultInject = func(addr uint64, line []byte) { line[1] ^= 0x03 }
-	c.FetchLine(pfn, 1, 1_000_000, dram.SrcPageForge)
+	if res.Poisoned {
+		t.Fatal("corrected fetch reported poisoned")
+	}
+	if !bytes.Equal(res.Data, phys.ReadLine(pfn, 0)) {
+		t.Fatal("corrected fetch returned corrupted data")
+	}
+	if res.Code != ecc.EncodeLine(phys.ReadLine(pfn, 0)) {
+		t.Fatal("corrected fetch returned a dirty code")
+	}
+	// Double-bit flip in one word: detected, uncorrectable, poisoned, and
+	// the code is zeroed so it can never feed a minikey.
+	c.Faults = FaultFunc(func(addr uint64, line []byte) { line[1] ^= 0x03 })
+	res = c.FetchLine(pfn, 1, 1_000_000, dram.SrcPageForge)
 	if c.Stats.ECCUncorrectable != 1 {
 		t.Fatalf("uncorrectable = %d, want 1", c.Stats.ECCUncorrectable)
+	}
+	if !res.Poisoned {
+		t.Fatal("uncorrectable fetch not poisoned")
+	}
+	if res.Code != (ecc.LineCode{}) {
+		t.Fatal("poisoned fetch leaked an ECC code")
+	}
+}
+
+// rewriteRecorder verifies the controller notifies the fault model of
+// line write-backs.
+type rewriteRecorder struct {
+	rewrites map[uint64]uint64
+}
+
+func (r *rewriteRecorder) Corrupt(addr, now uint64, line []byte) {}
+func (r *rewriteRecorder) Rewrite(addr, now uint64)              { r.rewrites[addr] = now }
+
+func TestDemandWriteNotifiesFaultModel(t *testing.T) {
+	c, phys, _ := newCtrl(4, false)
+	pfn := fillFrame(phys)
+	rec := &rewriteRecorder{rewrites: make(map[uint64]uint64)}
+	c.Faults = rec
+	addr := uint64(pfn.LineAddr(2))
+	c.DemandAccess(addr, 500, true, dram.SrcCore)
+	if now, ok := rec.rewrites[addr]; !ok || now != 500 {
+		t.Fatalf("write did not reach the fault model: %v", rec.rewrites)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/ksm"
 	"repro/internal/mem"
 	"repro/internal/rbtree"
+	"repro/internal/vm"
 )
 
 // sentinelBase is the first Less/More value used to mark out-of-batch
@@ -27,6 +28,10 @@ type DriverConfig struct {
 	// batch (0 or > NumOtherPages means the full table). Smaller values
 	// model a cheaper Scan Table (§4's design-space discussion).
 	BatchEntries int
+	// FallbackCost is the core cycles of the software path taken when the
+	// hardware aborts a candidate on an uncorrectable error: re-reading
+	// the page through the core and running the software compare/jhash.
+	FallbackCost uint64
 }
 
 // DefaultDriverConfig follows Table 5.
@@ -36,6 +41,7 @@ func DefaultDriverConfig() DriverConfig {
 		PollCost:       60,
 		BatchSetupCost: 250,
 		MergeCost:      3_000,
+		FallbackCost:   12_000,
 	}
 }
 
@@ -63,19 +69,45 @@ type Driver struct {
 	// Batches counts Scan Table loads; Polls counts get_PFE_info checks.
 	Batches uint64
 	Polls   uint64
+	// SWFallbacks counts candidates completed on the software path after
+	// the hardware aborted on an uncorrectable error; QuarantineSkips
+	// counts candidates skipped because their frame is quarantined.
+	SWFallbacks     uint64
+	QuarantineSkips uint64
+
+	// quarantine holds physical frames the UE policy has withdrawn from
+	// hardware scanning and merging. Quarantine is by frame — the faulty
+	// cells are physical — so it survives frame reuse, like kernel page
+	// offlining.
+	quarantine map[mem.PFN]struct{}
 }
 
 // NewDriver builds a driver over shared KSM algorithm state and a hardware
-// engine. The Algorithm's Hasher is unused on this path (the hardware
-// generates ECC keys); pass ksm.JHasher{} or ECCHasher as placeholder.
+// engine. The Algorithm's Hasher is used only on the UE fallback path (the
+// hardware generates ECC keys); pass ksm.JHasher{} or ECCHasher.
 func NewDriver(alg *ksm.Algorithm, hw *Engine, cfg DriverConfig) *Driver {
-	return &Driver{Alg: alg, HW: hw, Cfg: cfg}
+	return &Driver{Alg: alg, HW: hw, Cfg: cfg, quarantine: make(map[mem.PFN]struct{})}
+}
+
+// Quarantined reports whether the frame is excluded from hardware
+// scanning and merging.
+func (d *Driver) Quarantined(pfn mem.PFN) bool {
+	_, ok := d.quarantine[pfn]
+	return ok
+}
+
+// QuarantinedFrames reports how many frames the UE policy has withdrawn.
+func (d *Driver) QuarantinedFrames() int { return len(d.quarantine) }
+
+func (d *Driver) quarantinePFN(pfn mem.PFN) {
+	d.quarantine[pfn] = struct{}{}
 }
 
 // searchResult is the outcome of one hardware tree search.
 type searchResult struct {
 	match *rbtree.Node // non-nil when the hardware found a duplicate
 	now   uint64       // wall-clock cycle after the search completed
+	fault bool         // the hardware aborted on an uncorrectable error
 }
 
 // loadBatch fills the Scan Table with the BFS expansion of the subtree at
@@ -141,6 +173,9 @@ func (d *Driver) searchTree(cand mem.PFN, root *rbtree.Node, now uint64, first, 
 		}
 		info, t := d.runBatch(now)
 		now = t
+		if info.Fault {
+			return searchResult{now: now, fault: true}, true
+		}
 		if info.Duplicate {
 			if info.Ptr < 0 || info.Ptr >= len(batch) {
 				panic("pageforge: hardware reported duplicate at invalid Ptr")
@@ -162,8 +197,11 @@ func (d *Driver) searchTree(cand mem.PFN, root *rbtree.Node, now uint64, first, 
 	// empty: one empty reload with Last Refill forces it (Section 3.3.1).
 	if finishKey && !d.HW.GetPFEInfo(now).HashReady {
 		d.HW.UpdatePFE(true, InvalidIndex)
-		_, t := d.runBatch(now)
+		info, t := d.runBatch(now)
 		now = t
+		if info.Fault {
+			return searchResult{now: now, fault: true}, true
+		}
 	}
 	return searchResult{now: now}, true
 }
@@ -178,6 +216,20 @@ func (d *Driver) verifyMatch(cand, match mem.PFN, now uint64) (bool, uint64) {
 	d.HW.InsertPPN(0, match, InvalidIndex, InvalidIndex)
 	d.HW.UpdatePFE(false, 0)
 	info, t := d.runBatch(now)
+	if info.Fault {
+		// The hardware cannot verify: the kernel re-compares in software
+		// (demand reads go through their own correction/retry path) and
+		// the candidate frame is quarantined from future hardware passes.
+		d.SWFallbacks++
+		d.Alg.Stats.FaultFallbacks++
+		d.quarantinePFN(cand)
+		d.CoreCycles += d.Cfg.FallbackCost
+		same, _ := d.Alg.HV.Phys.SamePage(cand, match)
+		if !same {
+			d.Alg.HV.Unprotect(cand)
+		}
+		return same, t + d.Cfg.FallbackCost
+	}
 	if !info.Duplicate {
 		// Raced: the candidate is not being merged, so it must become
 		// writable again (the match keeps its protection, as in software
@@ -185,6 +237,36 @@ func (d *Driver) verifyMatch(cand, match mem.PFN, now uint64) (bool, uint64) {
 		d.Alg.HV.Unprotect(cand)
 	}
 	return info.Duplicate, t
+}
+
+// faultFallback completes a candidate whose hardware batch aborted on an
+// uncorrectable error. The kernel takes over in software — re-reading the
+// page through the core's corrected demand path, probing the stable tree
+// with the software comparator, and (when recordHash is set) running
+// jhash so the pass's change-detection state stays coherent — and then
+// quarantines the frame from future hardware scanning. Unstable-tree
+// participation is skipped: a frame that just poisoned the engine is not
+// worth advertising as a merge target.
+func (d *Driver) faultFallback(id vm.PageID, pfn mem.PFN, recordHash bool, now uint64) (bool, uint64) {
+	d.SWFallbacks++
+	d.Alg.Stats.FaultFallbacks++
+	d.quarantinePFN(pfn)
+	d.CoreCycles += d.Cfg.FallbackCost
+	now += d.Cfg.FallbackCost
+	a := d.Alg
+	if node := a.Stable.Lookup(pfn); node != nil && node.PFN != pfn {
+		// Merging into stable releases the suspect frame: its mappers are
+		// repointed at the stable copy and the bad cells leave service.
+		if _, mok := a.MergeIntoStable(id, node); mok {
+			d.CoreCycles += d.Cfg.MergeCost
+			return true, now
+		}
+		return false, now
+	}
+	if recordHash {
+		a.HashCheck(id)
+	}
+	return false, now
 }
 
 // ScanOne processes one candidate page, mirroring ksm.Scanner.ScanOne but
@@ -212,6 +294,11 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 	if !okr {
 		return false, now, true
 	}
+	if d.Quarantined(pfn) {
+		// The UE policy withdrew this frame from hardware scanning.
+		d.QuarantineSkips++
+		return false, now, true
+	}
 
 	first := true
 	if a.Options().UseZeroPages {
@@ -224,6 +311,10 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 			first = false
 			info, t := d.runBatch(now)
 			now = t
+			if info.Fault {
+				merged, t := d.faultFallback(id, pfn, true, now)
+				return merged, t, true
+			}
 			if info.Duplicate && a.MergeWithZeroFrame(id) {
 				d.CoreCycles += d.Cfg.MergeCost
 				return true, now, true
@@ -235,6 +326,10 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 	// background during this search.
 	res, notFound := d.searchTree(pfn, a.Stable.Root(), now, first, true)
 	now = res.now
+	if res.fault {
+		merged, t := d.faultFallback(id, pfn, true, now)
+		return merged, t, true
+	}
 	if !notFound && res.match.PFN != pfn {
 		same, t := d.verifyMatch(pfn, res.match.PFN, now)
 		now = t
@@ -252,6 +347,10 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 	// Not in the stable tree: compare the hardware-generated key with the
 	// previous pass's key.
 	info := d.HW.GetPFEInfo(now)
+	if info.Fault {
+		merged, t := d.faultFallback(id, pfn, true, now)
+		return merged, t, true
+	}
 	if !info.HashReady {
 		panic("pageforge: hash key not ready after stable search")
 	}
@@ -262,6 +361,10 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 	// Unstable-tree search in hardware.
 	res, notFound = d.searchTree(pfn, a.Unstable.Root(), now, false, false)
 	now = res.now
+	if res.fault {
+		merged, t := d.faultFallback(id, pfn, false, now)
+		return merged, t, true
+	}
 	if !notFound {
 		if !a.ValidUnstableMatch(res.match) {
 			a.Stats.StaleUnstable++

@@ -15,6 +15,12 @@ import (
 // buffered in the module (the 64-bit comparator walks eight words).
 const CompareCycles = 8
 
+// MaxLineRetries bounds how many times the FSM re-reads a line whose
+// fetch came back poisoned before aborting the batch. Transient upsets
+// heal on a re-read; stuck-at cells and in-progress bursts do not, and
+// unbounded retries against those would wedge the engine.
+const MaxLineRetries = 2
+
 // LineFetcher is the service the hosting memory controller provides to the
 // module. *memctrl.Controller implements it; the platform's multi-controller
 // router does too (PageForge requests to pages homed on the other
@@ -45,6 +51,11 @@ type Engine struct {
 	Duplicates    uint64
 	KeysGenerated uint64
 	BusyCycles    uint64
+	// RAS statistics: poisoned-line re-reads issued, retries that came
+	// back clean, and batches aborted on an unhealable poisoned line.
+	LineRetries   uint64
+	RetriesHealed uint64
+	FaultAborts   uint64
 }
 
 // NewEngine builds a PageForge module attached to a memory controller.
@@ -83,6 +94,7 @@ func (e *Engine) UpdatePFE(lastRefill bool, ptr int) {
 	p.Ptr = ptr
 	p.Scanned = false
 	p.Duplicate = false
+	p.Fault = false
 }
 
 // GetPFEInfo reports the hash key, Ptr, and the S/D/H bits (get_PFE_info)
@@ -96,7 +108,7 @@ func (e *Engine) GetPFEInfo(now uint64) PFEInfo {
 		return PFEInfo{Ptr: e.Table.PFE.Ptr} // in-flight: status bits unset
 	}
 	p := e.Table.PFE
-	return PFEInfo{Hash: p.Hash, Ptr: p.Ptr, Scanned: p.Scanned, Duplicate: p.Duplicate, HashReady: p.HashReady}
+	return PFEInfo{Hash: p.Hash, Ptr: p.Ptr, Scanned: p.Scanned, Duplicate: p.Duplicate, HashReady: p.HashReady, Fault: p.Fault}
 }
 
 // UpdateECCOffset reconfigures which line in each 1KB section feeds the
@@ -141,8 +153,16 @@ func (e *Engine) Trigger(now uint64) {
 	// in lockstep with each table page.
 	for e.Table.inTable(p.Ptr) {
 		entry := e.Table.Other[p.Ptr]
-		cmp := e.comparePages(p.PPN, entry.PPN, &clock)
+		cmp, faulted := e.comparePages(p.PPN, entry.PPN, &clock)
 		e.PagesCompared++
+		if faulted {
+			// A line stayed poisoned through the retry budget: corrupted
+			// data must not decide a merge, so the batch aborts and the
+			// Fault bit tells the OS to take its software path.
+			p.Fault = true
+			e.FaultAborts++
+			break
+		}
 		if cmp == 0 {
 			p.Duplicate = true
 			e.Duplicates++
@@ -157,16 +177,22 @@ func (e *Engine) Trigger(now uint64) {
 	p.Scanned = true
 
 	// The last batch (Last Refill set, or a duplicate found) forces the
-	// hash key to completion (Section 3.3.1).
-	if (p.LastRefill || p.Duplicate) && !p.HashReady {
+	// hash key to completion (Section 3.3.1). A faulted batch skips it:
+	// the candidate is headed for software fallback anyway, and a key
+	// built around a poisoned page is worthless.
+	if !p.Fault && (p.LastRefill || p.Duplicate) && !p.HashReady {
 		for _, li := range e.keyAsm.Missing() {
-			res := e.MC.FetchLine(p.PPN, li, clock, dram.SrcPageForge)
-			e.LinesFetched++
+			res, done := e.fetchLine(p.PPN, li, clock)
+			clock = done
+			if res.Poisoned {
+				p.Fault = true
+				e.FaultAborts++
+				break
+			}
 			e.keyAsm.Observe(li, res.Code)
-			clock += res.Latency
 		}
 	}
-	if e.keyAsm.Ready() && !p.HashReady {
+	if !p.Fault && e.keyAsm.Ready() && !p.HashReady {
 		p.Hash = e.keyAsm.Key()
 		p.HashReady = true
 		e.KeysGenerated++
@@ -179,26 +205,54 @@ func (e *Engine) Trigger(now uint64) {
 	e.BatchCycles.Add(float64(spent))
 }
 
+// fetchLine issues one line fetch with bounded poison retries, each
+// re-read issued when the previous one completes. It returns the final
+// result and its completion cycle; a result still Poisoned after the
+// retry budget is unhealable at this time (stuck-at cells, an active
+// burst) and the caller must abort.
+func (e *Engine) fetchLine(pfn mem.PFN, li int, start uint64) (memctrl.FetchResult, uint64) {
+	res := e.MC.FetchLine(pfn, li, start, dram.SrcPageForge)
+	e.LinesFetched++
+	done := start + res.Latency
+	for r := 0; res.Poisoned && r < MaxLineRetries; r++ {
+		e.LineRetries++
+		res = e.MC.FetchLine(pfn, li, done, dram.SrcPageForge)
+		e.LinesFetched++
+		done += res.Latency
+		if !res.Poisoned {
+			e.RetriesHealed++
+		}
+	}
+	return res, done
+}
+
 // comparePages compares the candidate with one table page line-by-line in
 // lockstep, advancing the hardware clock with each fetched pair, snatching
 // candidate-line ECC codes for the background hash key, and stopping at
-// the first divergent line.
-func (e *Engine) comparePages(cand, other mem.PFN, clock *uint64) int {
+// the first divergent line. faulted reports that a line of either page
+// stayed poisoned through the retry budget; the comparison verdict is
+// then meaningless and the caller must abort the batch. Poisoned codes
+// never reach the key assembler.
+func (e *Engine) comparePages(cand, other mem.PFN, clock *uint64) (cmp int, faulted bool) {
 	for li := 0; li < mem.LinesPerPage; li++ {
 		// The offset is computed once and reused for both pages; the two
-		// line reads are issued together.
-		resA := e.MC.FetchLine(cand, li, *clock, dram.SrcPageForge)
-		resB := e.MC.FetchLine(other, li, *clock, dram.SrcPageForge)
-		e.LinesFetched += 2
-		e.keyAsm.Observe(li, resA.Code)
-		lat := resA.Latency
-		if resB.Latency > lat {
-			lat = resB.Latency
+		// line reads are issued together (retries serialize after them).
+		resA, doneA := e.fetchLine(cand, li, *clock)
+		resB, doneB := e.fetchLine(other, li, *clock)
+		done := doneA
+		if doneB > done {
+			done = doneB
 		}
-		*clock += lat + CompareCycles
+		*clock = done + CompareCycles
+		if !resA.Poisoned {
+			e.keyAsm.Observe(li, resA.Code)
+		}
+		if resA.Poisoned || resB.Poisoned {
+			return 0, true
+		}
 		if c := bytes.Compare(resA.Data, resB.Data); c != 0 {
-			return c
+			return c, false
 		}
 	}
-	return 0
+	return 0, false
 }

@@ -42,11 +42,16 @@ type PFE struct {
 	Hash  uint32
 	Ptr   int
 	// Status/control bits: Scanned (S), Duplicate (D), Hash Key Ready (H),
-	// Last Refill (L).
+	// Last Refill (L), Fault (F).
 	Scanned    bool
 	Duplicate  bool
 	HashReady  bool
 	LastRefill bool
+	// Fault is set when the batch aborted on an uncorrectable memory
+	// error that bounded re-reads could not heal. Duplicate and HashReady
+	// are then unreliable for this candidate; the OS must fall back to a
+	// software path.
+	Fault bool
 }
 
 // ScanTable is the hardware table the OS fills through the API.
@@ -75,8 +80,12 @@ type PFEInfo struct {
 	Scanned   bool
 	Duplicate bool
 	HashReady bool
+	// Fault mirrors the PFE Fault bit: the batch aborted on an
+	// uncorrectable memory error.
+	Fault bool
 }
 
 func (i PFEInfo) String() string {
-	return fmt.Sprintf("hash=%#x ptr=%d S=%v D=%v H=%v", i.Hash, i.Ptr, i.Scanned, i.Duplicate, i.HashReady)
+	return fmt.Sprintf("hash=%#x ptr=%d S=%v D=%v H=%v F=%v",
+		i.Hash, i.Ptr, i.Scanned, i.Duplicate, i.HashReady, i.Fault)
 }

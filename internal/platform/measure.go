@@ -54,6 +54,10 @@ type measurement struct {
 	// pump interleaves application traffic into the PageForge engine's
 	// fetch stream at line granularity.
 	pump *pumpFetcher
+
+	// onInterval, when set, runs at each work-interval boundary (RAS: the
+	// patrol-scrub slice and UE-rate tracker observation).
+	onInterval func(start uint64)
 }
 
 // pumpFetcher wraps the memory controller's fetch service: before each
@@ -159,6 +163,9 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) {
 			m.demandLat.Reset()
 		}
 		measuring := k >= warmupIntervals
+		if m.onInterval != nil {
+			m.onInterval(start)
+		}
 
 		// Application accesses, the kthread's streaming sweep, and the
 		// PageForge engine's fetches must reach the DRAM model in time

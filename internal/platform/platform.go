@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dram"
+	"repro/internal/faults"
 	"repro/internal/ksm"
 	"repro/internal/memctrl"
 	"repro/internal/pageforge"
@@ -78,6 +79,18 @@ type Config struct {
 	// used by the analytical utilization component of the latency model.
 	MemPeakGBps float64
 
+	// Faults configures the injected DRAM fault population (RAS). The zero
+	// value injects nothing and leaves the machine bit-identical to a
+	// fault-free run. When enabled, a patrol scrubber and the
+	// PageForge→KSM degradation policy are armed alongside the model.
+	Faults faults.Config
+	// ScrubLinesPerInterval is the patrol scrubber's line budget per dedup
+	// pass/interval (0 disables patrol scrub even under injected faults).
+	ScrubLinesPerInterval int
+	// DegradeTrip is the UE-rate policy that demotes PageForge to software
+	// KSM; zero fields take the faults.DefaultTrip values.
+	DegradeTrip faults.Trip
+
 	// MeasureL3 sizes the shared cache used during the measurement phase.
 	// The sampled application/kthread streams are ~3 orders of magnitude
 	// thinner than real traffic, so pollution fidelity requires scaling the
@@ -91,22 +104,24 @@ type Config struct {
 // DefaultConfig is the paper's setup (Table 2).
 func DefaultConfig() Config {
 	return Config{
-		Cores:            10,
-		VMs:              10,
-		SleepMillis:      5,
-		PagesToScan:      400,
-		KSMCosts:         ksm.DefaultCosts(),
-		Driver:           pageforge.DefaultDriverConfig(),
-		Hier:             cache.DefaultHierarchyConfig(),
-		DRAM:             dram.DefaultConfig(),
-		ConvergePasses:   25,
-		MeasureIntervals: 40,
-		ZipfS:            1.2,
-		MeasureL3:        cache.Config{SizeBytes: 2 << 20, Ways: 16},
-		KthreadShare:     0.5,
-		KthreadSlice:     1_000_000,
-		MemPeakGBps:      24,
-		Seed:             1,
+		Cores:                 10,
+		VMs:                   10,
+		SleepMillis:           5,
+		PagesToScan:           400,
+		KSMCosts:              ksm.DefaultCosts(),
+		Driver:                pageforge.DefaultDriverConfig(),
+		Hier:                  cache.DefaultHierarchyConfig(),
+		DRAM:                  dram.DefaultConfig(),
+		ConvergePasses:        25,
+		MeasureIntervals:      40,
+		ZipfS:                 1.2,
+		MeasureL3:             cache.Config{SizeBytes: 2 << 20, Ways: 16},
+		ScrubLinesPerInterval: 512,
+		DegradeTrip:           faults.DefaultTrip(),
+		KthreadShare:          0.5,
+		KthreadSlice:          1_000_000,
+		MemPeakGBps:           24,
+		Seed:                  1,
 	}
 }
 
@@ -160,6 +175,23 @@ type Result struct {
 	PFDriverCycles  uint64
 	MeasuredCycles  uint64
 	ConvergedPasses int
+
+	// RAS (populated when Config.Faults is enabled). Degraded reports that
+	// the UE-rate policy demoted PageForge to software KSM during
+	// convergence; DegradedAtPass is the pass index at which it tripped.
+	Degraded          bool
+	DegradedAtPass    int
+	UERate            float64 // smoothed UEs-per-decode estimate at end of run
+	ECCCorrected      uint64
+	ECCUncorrectable  uint64
+	PFLineRetries     uint64
+	PFRetriesHealed   uint64
+	PFFaultAborts     uint64
+	SWFallbacks       uint64
+	QuarantinedFrames int
+	ScrubLines        uint64
+	ScrubCorrected    uint64
+	ScrubUEs          uint64
 }
 
 // Run executes one (mode, application) configuration.
@@ -192,7 +224,29 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		return mc.DemandAccess(addr, clock, write, dram.SrcCore)
 	}
 
-	res := &Result{Mode: mode, App: app}
+	res := &Result{Mode: mode, App: app, DegradedAtPass: -1}
+
+	// RAS: attach the fault model to the controller (every ECC-decoded line
+	// fetch now passes through it) and arm the patrol scrubber and the
+	// degradation tracker. With Faults disabled nothing is created and the
+	// machine is bit-identical to earlier fault-free builds.
+	var ras *rasState
+	if cfg.Faults.Enabled() {
+		fc := cfg.Faults
+		if fc.Frames == 0 {
+			fc.Frames = img.HV.Phys.TotalFrames()
+		}
+		ras = &rasState{
+			model:   faults.NewModel(fc),
+			scrub:   &memctrl.Scrubber{MC: mc},
+			tracker: faults.NewRateTracker(cfg.DegradeTrip),
+			mc:      mc,
+			budget:  cfg.ScrubLinesPerInterval,
+
+			degradedAtPass: -1,
+		}
+		mc.Faults = ras.model
+	}
 
 	// Deduplication engine for this mode. The PageForge engine's fetches go
 	// through a pumped fetcher so the measurement phase can interleave
@@ -213,9 +267,12 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	// pages between passes so they behave as application write traffic.
 	// This mass-merging phase is "the most memory-intensive phase of page
 	// deduplication" whose bandwidth Figure 11 reports.
+	// pfDriver keeps the hardware driver reachable for statistics even when
+	// the degradation policy swaps the live engine to software KSM.
+	pfDriver := driver
 	if mode != Baseline {
 		var passes int
-		passes, res.DedupGBps = converge(img, scanner, driver, dr, cfg)
+		passes, res.DedupGBps, scanner, driver = converge(img, scanner, driver, dr, cfg, ras)
 		res.ConvergedPasses = passes
 	}
 	res.Footprint = img.MeasureFootprint()
@@ -225,20 +282,19 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	// bursts, pollution, and demand latency.
 	meas := newMeasurement(img, hier, dr, mc, cfg, app, &clock)
 	meas.pump = pump
+	if ras != nil {
+		// Patrol scrub keeps running through the measurement phase as
+		// background DRAM traffic; the tracker keeps refining the UE-rate
+		// estimate (the engine swap itself only happens during converge).
+		meas.onInterval = func(start uint64) { ras.tick(start, ^uint64(0)) }
+	}
 	var dedupBytesBefore uint64
 	if scanner != nil {
 		dedupBytesBefore = scanner.DRAMBytes
 	} else {
 		dedupBytesBefore = dr.TotalBytes(dram.SrcPageForge)
 	}
-	switch mode {
-	case Baseline:
-		meas.run(nil, nil)
-	case KSM:
-		meas.run(scanner, nil)
-	case PageForge:
-		meas.run(nil, driver)
-	}
+	meas.run(scanner, driver)
 	meas.fill(res)
 
 	// Steady-state dedup bandwidth over the whole measurement phase
@@ -267,16 +323,55 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		res.Stats = scanner.Alg.Stats
 		res.KSMBreakdown = scanner.Cycles
 	}
-	if driver != nil {
-		res.Stats = driver.Alg.Stats
-		res.PFBatchMean = driver.HW.BatchCycles.Mean()
-		res.PFBatchStd = driver.HW.BatchCycles.Stddev()
-		res.PFBatches = driver.Batches
-		res.PFLinesFetched = driver.HW.LinesFetched
+	if pfDriver != nil {
+		res.Stats = pfDriver.Alg.Stats
+		res.PFBatchMean = pfDriver.HW.BatchCycles.Mean()
+		res.PFBatchStd = pfDriver.HW.BatchCycles.Stddev()
+		res.PFBatches = pfDriver.Batches
+		res.PFLinesFetched = pfDriver.HW.LinesFetched
 		res.PFNetworkHits = mc.Stats.PFNetworkHits
-		res.PFDriverCycles = driver.CoreCycles
+		res.PFDriverCycles = pfDriver.CoreCycles
+		res.PFLineRetries = pfDriver.HW.LineRetries
+		res.PFRetriesHealed = pfDriver.HW.RetriesHealed
+		res.PFFaultAborts = pfDriver.HW.FaultAborts
+		res.SWFallbacks = pfDriver.SWFallbacks
+		res.QuarantinedFrames = pfDriver.QuarantinedFrames()
+	}
+	if ras != nil {
+		res.Degraded = ras.degradedAtPass >= 0
+		res.DegradedAtPass = ras.degradedAtPass
+		res.UERate = ras.tracker.Rate()
+		res.ECCCorrected = mc.Stats.ECCCorrected
+		res.ECCUncorrectable = mc.Stats.ECCUncorrectable
+		res.ScrubLines = ras.scrub.Stats.Lines
+		res.ScrubCorrected = ras.scrub.Stats.Corrected
+		res.ScrubUEs = ras.scrub.Stats.Uncorrectable
 	}
 	return res, dr, nil
+}
+
+// rasState bundles the live RAS machinery of one run: the fault model
+// attached to the controller, the patrol scrubber, and the UE-rate tracker
+// driving the PageForge→KSM degradation policy.
+type rasState struct {
+	model   *faults.Model
+	scrub   *memctrl.Scrubber
+	tracker *faults.RateTracker
+	mc      *memctrl.Controller
+	budget  int
+
+	// degradedAtPass is the converge pass at which the policy demoted the
+	// hardware engine (-1: never).
+	degradedAtPass int
+}
+
+// tick runs one patrol-scrub slice starting at now and feeds the
+// degradation tracker one observation window from the controller's
+// cumulative ECC counters. It returns the cycle the scrub slice finished.
+func (r *rasState) tick(now, stamp uint64) uint64 {
+	end := r.scrub.Step(now, r.budget)
+	r.tracker.Observe(r.mc.Stats.ECCDecodes, r.mc.Stats.ECCUncorrectable, stamp)
+	return end
 }
 
 // Latency runs the queueing phase (Figures 9 and 10) for a measured
@@ -338,9 +433,13 @@ func memQueueFactor(app tailbench.Profile, r *Result, cfg Config) float64 {
 // converge runs full passes with inter-pass churn until merges settle, and
 // measures the dedup engine's DRAM bandwidth during this mass-merging
 // phase: bytes streamed per pages_to_scan batch, over the 5ms interval
-// that batch occupies in deployment.
+// that batch occupies in deployment. Each pass ends with a patrol-scrub
+// slice and a degradation-tracker observation; when the UE-rate policy
+// trips, the PageForge driver is demoted to a software KSM scanner over
+// the same algorithm state, and the (possibly swapped) engines are
+// returned to the caller.
 func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driver,
-	dr *dram.DRAM, cfg Config) (int, float64) {
+	dr *dram.DRAM, cfg Config, ras *rasState) (int, float64, *ksm.Scanner, *pageforge.Driver) {
 
 	var alg *ksm.Algorithm
 	if scanner != nil {
@@ -369,6 +468,18 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 				candidates++
 			}
 		}
+		if ras != nil {
+			now = ras.tick(now, uint64(p))
+			if driver != nil && ras.tracker.Degraded() {
+				// Too many uncorrectable errors on the hardware fetch path:
+				// demote to software KSM on the same algorithm state. The
+				// software path reads through the cache hierarchy, not the
+				// poisoned ECC fetch pipe, so scanning continues.
+				scanner = ksm.NewScanner(driver.Alg, cfg.KSMCosts)
+				driver = nil
+				ras.degradedAtPass = p
+			}
+		}
 		img.ChurnVolatile()
 		frames := img.HV.Phys.AllocatedFrames()
 		if frames == prevFrames && p >= 2 {
@@ -378,11 +489,11 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		prevFrames = frames
 	}
 
-	var bytes uint64
+	// A degraded run streamed bytes through both engines; the PageForge
+	// side's DRAM volume and the software scanner's add.
+	bytes := dr.TotalBytes(dram.SrcPageForge)
 	if scanner != nil {
-		bytes = scanner.DRAMBytes
-	} else {
-		bytes = dr.TotalBytes(dram.SrcPageForge)
+		bytes += scanner.DRAMBytes
 	}
 	gbps := 0.0
 	if candidates > 0 {
@@ -390,7 +501,7 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		seconds := intervals * cfg.SleepMillis / 1e3
 		gbps = float64(bytes) / 1e9 / seconds * fullScaleDepthFactor
 	}
-	return passes, gbps
+	return passes, gbps, scanner, driver
 }
 
 // RunDebug is Run plus the DRAM statistics snapshot (calibration tooling).

@@ -3,6 +3,7 @@ package platform
 import (
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/tailbench"
 )
 
@@ -160,5 +161,78 @@ func TestModeString(t *testing.T) {
 	}
 	if Mode(9).String() != "?" {
 		t.Fatal("unknown mode")
+	}
+}
+
+func TestPageForgeDegradesUnderPathologicalFaults(t *testing.T) {
+	cfg := fastConfig()
+	cfg.ConvergePasses = 6
+	cfg.MeasureIntervals = 4
+	app := fastApp("img_dnn")
+
+	// Control: faults enabled at a negligible rate — no degradation.
+	cfg.Faults = faults.Config{Seed: 7, TransientPerRead: 0.001}
+	ctl, err := Run(PageForge, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Degraded {
+		t.Fatalf("benign fault rate tripped degradation (UE rate %g)", ctl.UERate)
+	}
+	if ctl.ECCCorrected == 0 {
+		t.Fatal("transient faults never corrected (injection inert)")
+	}
+	if ctl.ScrubLines == 0 {
+		t.Fatal("patrol scrubber never ran")
+	}
+
+	// Pathological: every line read is uncorrectable — the UE-rate policy
+	// must demote the hardware engine during convergence, and the run must
+	// still complete with software KSM doing the merging.
+	cfg.Faults = faults.Config{Seed: 7, DoubleBitPerRead: 1}
+	bad, err := Run(PageForge, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad.Degraded {
+		t.Fatalf("always-UE DIMM did not degrade (UE rate %g, aborts %d)",
+			bad.UERate, bad.PFFaultAborts)
+	}
+	if bad.DegradedAtPass < 0 || bad.DegradedAtPass >= cfg.ConvergePasses {
+		t.Fatalf("DegradedAtPass = %d", bad.DegradedAtPass)
+	}
+	if bad.PFFaultAborts == 0 {
+		t.Fatal("no hardware fault aborts recorded before degradation")
+	}
+	if bad.UERate <= ctl.UERate {
+		t.Fatalf("UE rate not elevated: %g vs control %g", bad.UERate, ctl.UERate)
+	}
+	// Software KSM still merges: savings comparable to a clean run's band.
+	if s := bad.Footprint.Savings(); s < 0.20 {
+		t.Fatalf("degraded run stopped merging: savings %.2f", s)
+	}
+	if bad.KSMBreakdown.Compare == 0 {
+		t.Fatal("software scanner never ran after degradation")
+	}
+}
+
+func TestFaultConfigZeroIsIdentical(t *testing.T) {
+	cfg := fastConfig()
+	cfg.ConvergePasses = 4
+	cfg.MeasureIntervals = 4
+	app := fastApp("silo")
+	a, err := Run(PageForge, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(PageForge, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.ScrubLines != 0 || a.ECCUncorrectable != 0 || a.Degraded {
+		t.Fatalf("zero fault config produced RAS activity: %+v", a)
 	}
 }

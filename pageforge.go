@@ -39,6 +39,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/esx"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/ksm"
 	"repro/internal/mem"
 	"repro/internal/memctrl"
@@ -266,6 +267,34 @@ func ECCPageKey(page []byte, offsets KeyOffsets) uint32 { return ecc.PageKey(pag
 // DefaultKeyOffsets is the profiled sampling configuration.
 var DefaultKeyOffsets = ecc.DefaultKeyOffsets
 
+// --- RAS: faults, patrol scrub, degradation ------------------------------
+
+// FaultConfig describes a deterministic injected DRAM fault population:
+// transient single/double-bit upsets, stuck-at cells and words, latent
+// retention errors, and row-correlated burst windows. The zero value
+// injects nothing. Set it on Config.Faults to run a platform configuration
+// on faulty silicon.
+type FaultConfig = faults.Config
+
+// FaultModel is the seeded fault generator a memory controller consults on
+// every ECC-decoded line read (memctrl.Controller.Faults).
+type FaultModel = faults.Model
+
+// NewFaultModel builds a fault model; identical configs replay identical
+// fault schedules.
+func NewFaultModel(cfg FaultConfig) *FaultModel { return faults.NewModel(cfg) }
+
+// DegradeTrip is the UE-rate hysteresis policy that demotes PageForge to
+// software KSM when the uncorrectable-error rate on the fetch path climbs.
+type DegradeTrip = faults.Trip
+
+// DefaultDegradeTrip trips above ~1% UEs per decode and re-arms below 0.1%.
+func DefaultDegradeTrip() DegradeTrip { return faults.DefaultTrip() }
+
+// Scrubber is the controller's patrol-scrub engine: background-priority
+// line walks that rewrite correctable errors and log uncorrectable ones.
+type Scrubber = memctrl.Scrubber
+
 // --- Experiments -------------------------------------------------------------
 
 // Suite shares simulation runs across the paper's experiments. Its Result
@@ -322,6 +351,16 @@ func Table5(s *Suite) (*experiments.Table5Result, error) { return experiments.Ta
 // Satori runs the extension experiment on short-lived sharing capture
 // versus scanning aggressiveness (the paper's §7.2 discussion of Satori).
 func Satori(s *Suite) (*experiments.SatoriResult, error) { return experiments.Satori(s) }
+
+// RASExperiment sweeps DRAM fault rate against merge coverage, bounded
+// re-read and patrol-scrub overhead, and the PageForge→KSM degradation
+// trip point. A nil or empty rates slice uses DefaultRASRates.
+func RASExperiment(s *Suite, rates []float64) (*experiments.RASResult, error) {
+	return experiments.RAS(s, rates)
+}
+
+// DefaultRASRates spans clean silicon to an always-faulting DIMM.
+func DefaultRASRates() []float64 { return experiments.DefaultRASRates() }
 
 // Timeline measures the savings convergence ramp of both engines on one
 // application under identical tunables.
