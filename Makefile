@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build test race vet bench fuzz ci
+.PHONY: build test race vet bench fuzz smoke ci
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the Go micro-benchmarks, then the end-to-end suite benchmark
+# that snapshots per-run wall times and key metrics into BENCH_suite.json.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/pageforge bench -out BENCH_suite.json
+
+# smoke exercises the CLI's machine-readable path end to end: a fast
+# two-app table4 run must emit a JSON document with populated rows.
+smoke:
+	$(GO) run ./cmd/pageforge run -exp table4 -fast -quiet -json -apps img_dnn,silo \
+		| jq -e '.experiments.table4.Rows | length > 0' > /dev/null
+	@echo smoke OK
 
 # fuzz gives the ECC decoder and page-key contracts a short native-fuzzing
 # budget per target (raise FUZZTIME for a real campaign). Any ≤2-bit
@@ -27,5 +37,6 @@ fuzz:
 
 # ci is the gate every change must pass: compile, static checks, the full
 # test suite under the race detector (the experiment suite runs its
-# simulations through a concurrent worker pool), and the short fuzz budget.
-ci: build vet race fuzz
+# simulations through a concurrent worker pool), the short fuzz budget,
+# and the CLI JSON smoke run.
+ci: build vet race fuzz smoke

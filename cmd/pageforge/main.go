@@ -3,22 +3,34 @@
 // Usage:
 //
 //	pageforge list
-//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|satori|timeline|ras]
+//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras]
 //	              [-apps img_dnn,silo,...] [-fast] [-seed N] [-fault-rate r1,r2,...]
+//	              [-json] [-trace file] [-metrics file]
+//	              [-cpuprofile file] [-memprofile file] [-pprof addr]
+//	pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
 //
 // Each experiment prints the same rows/series the corresponding table or
 // figure of the paper reports, with the paper's headline numbers noted for
-// comparison. A failing experiment is reported on stderr and the remaining
-// selections still run; the exit status is then non-zero.
+// comparison; -json replaces the text tables with one machine-readable
+// document on stdout. -trace writes a Chrome trace_event file of the runs'
+// simulation events (open in Perfetto or chrome://tracing); -metrics dumps
+// every run's full counter/histogram snapshot. A failing experiment is
+// reported on stderr and the remaining selections still run; the exit
+// status is then non-zero.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	pageforgesim "repro"
 	"repro/internal/experiments"
@@ -35,6 +47,8 @@ func main() {
 		list()
 	case "run":
 		run(os.Args[2:])
+	case "bench":
+		bench(os.Args[2:])
 	case "sweep":
 		sweep(os.Args[2:])
 	default:
@@ -46,8 +60,54 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pageforge list
-  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|satori|timeline|ras] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...]
+  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...]
+                [-json] [-trace file] [-metrics file] [-cpuprofile file] [-memprofile file] [-pprof addr]
+  pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
   pageforge sweep [-app name] [-pages N] [-seconds S]`)
+}
+
+// startProfiling arms the optional profiling hooks: a CPU profile written
+// until stop, a heap profile written at stop, and a live net/http/pprof
+// server. The returned stop must run before exit for the files to be
+// complete.
+func startProfiling(cpuFile, memFile, addr string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuFile != "" {
+		cpuF, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	if addr != "" {
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof server on http://%s/debug/pprof/\n", addr)
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 func list() {
@@ -60,6 +120,7 @@ func list() {
 		{"fig10", "Figure 10: 95th percentile latency"},
 		{"fig11", "Figure 11: memory bandwidth in the dedup-intensive phase"},
 		{"table5", "Table 5: PageForge timing, area, and power"},
+		{"latency", "Demand-access latency distribution (mean/p50/p95/p99/max cycles)"},
 		{"satori", "Extension: short-lived sharing capture vs scan aggressiveness (Satori, §7.2)"},
 		{"timeline", "Extension: savings convergence ramp, KSM vs PageForge"},
 		{"ras", "Extension: DRAM fault rate vs merge coverage, scrub/retry overhead, degradation"},
@@ -85,7 +146,19 @@ func run(args []string) {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs (results are bit-identical at any setting)")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
 	faultRates := fs.String("fault-rate", "", "comma-separated UE-per-read rates for the ras experiment (default sweep when empty)")
+	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON document on stdout instead of text tables")
+	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file of the simulation runs (Perfetto-loadable)")
+	metricsFile := fs.String("metrics", "", "write every run's full metrics snapshot (counters, gauges, histograms) as JSON")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.Parse(args)
+
+	stopProf, err := startProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 
 	var rates []float64
 	if *faultRates != "" {
@@ -134,6 +207,23 @@ func run(args []string) {
 	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
+	// -trace arms event recording on every platform run; -json redirects
+	// experiment results into one document instead of printing tables.
+	if *traceFile != "" {
+		suite.Cfg.Trace = pageforgesim.NewTracer(pageforgesim.DefaultTraceCapacity)
+	}
+	var doc *experiments.Doc
+	if *jsonOut {
+		doc = experiments.NewDoc(suite)
+	}
+	emit := func(name string, r any) {
+		if doc != nil {
+			doc.Add(name, r)
+		} else {
+			fmt.Println(r)
+		}
+	}
+
 	// Fan the selected experiments' (mode × app) simulation matrix out
 	// across the worker pool up front; the experiments then render from
 	// the warm cache. Progress and the duration summary go to stderr so
@@ -152,7 +242,7 @@ func run(args []string) {
 		modeSet[platform.Baseline] = true
 		modeSet[platform.KSM] = true
 	}
-	if want("fig9") || want("fig10") || want("fig11") {
+	if want("fig9") || want("fig10") || want("fig11") || want("latency") {
 		for _, m := range experiments.AllModes() {
 			modeSet[m] = true
 		}
@@ -176,26 +266,33 @@ func run(args []string) {
 		if r, err := pageforgesim.Figure7(suite); err != nil {
 			fail(err)
 		} else {
-			fmt.Println(r)
+			emit("fig7", r)
 		}
 	}
 	if want("fig8") {
 		if r, err := pageforgesim.Figure8(suite); err != nil {
 			fail(err)
 		} else {
-			fmt.Println(r)
+			emit("fig8", r)
 		}
 	}
 	if want("table4") {
 		if r, err := pageforgesim.Table4(suite); err != nil {
 			fail(err)
 		} else {
-			fmt.Println(r)
+			emit("table4", r)
 		}
 	}
 	if want("fig9") || want("fig10") {
 		if r, err := pageforgesim.LatencyExperiment(suite); err != nil {
 			fail(err)
+		} else if doc != nil {
+			if want("fig9") {
+				doc.Add("fig9", r)
+			}
+			if want("fig10") {
+				doc.Add("fig10", r)
+			}
 		} else {
 			if want("fig9") {
 				fmt.Println(r.Figure9())
@@ -209,21 +306,28 @@ func run(args []string) {
 		if r, err := pageforgesim.Figure11(suite); err != nil {
 			fail(err)
 		} else {
-			fmt.Println(r)
+			emit("fig11", r)
 		}
 	}
 	if want("table5") {
 		if r, err := pageforgesim.Table5(suite); err != nil {
 			fail(err)
 		} else {
-			fmt.Println(r)
+			emit("table5", r)
+		}
+	}
+	if want("latency") {
+		if r, err := pageforgesim.DemandLatency(suite); err != nil {
+			fail(err)
+		} else {
+			emit("latency", r)
 		}
 	}
 	if want("satori") {
 		if r, err := pageforgesim.Satori(suite); err != nil {
 			fail(err)
 		} else {
-			fmt.Println(r)
+			emit("satori", r)
 		}
 	}
 	if want("timeline") {
@@ -231,7 +335,7 @@ func run(args []string) {
 			if r, err := pageforgesim.Timeline(suite, app, 60); err != nil {
 				fail(err)
 			} else {
-				fmt.Println(r)
+				emit("timeline_"+app.Name, r)
 			}
 		}
 	}
@@ -239,15 +343,135 @@ func run(args []string) {
 		if r, err := pageforgesim.RASExperiment(suite, rates); err != nil {
 			fail(err)
 		} else {
-			fmt.Println(r)
+			emit("ras", r)
 		}
 	}
 	if progress != nil && len(modeSet) > 0 {
 		fmt.Fprintln(os.Stderr, "\n"+progress.Summary())
 	}
+
+	if doc != nil {
+		if err := doc.Encode(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *traceFile != "" {
+		if err := writeTrace(suite.Cfg.Trace, *traceFile); err != nil {
+			fail(err)
+		}
+	}
+	if *metricsFile != "" {
+		if err := writeFileJSON(*metricsFile, func(f *os.File) error {
+			return pageforgesim.NewMetricsDoc(suite).Encode(f)
+		}); err != nil {
+			fail(err)
+		}
+	}
+	stopProf()
 	if exitCode != 0 {
 		os.Exit(exitCode)
 	}
+}
+
+// writeTrace serializes the tracer to a Chrome trace_event file and notes
+// the volume (and any ring-buffer drops) on stderr.
+func writeTrace(tr *pageforgesim.Tracer, path string) error {
+	err := writeFileJSON(path, func(f *os.File) error { return tr.WriteJSON(f) })
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (dropped %d)\n", tr.Len(), path, tr.Dropped())
+	}
+	return err
+}
+
+// writeFileJSON creates path and streams JSON into it via write.
+func writeFileJSON(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// bench runs the full (mode × app) simulation matrix and writes a
+// machine-readable benchmark artifact: per-run wall-clock times plus each
+// run's headline metrics, with enough environment context (go version,
+// parallelism) to compare artifacts across commits.
+func bench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_suite.json", "artifact file")
+	fast := fs.Bool("fast", true, "scaled-down suite (matches CI; -fast=false runs paper-sized images)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs")
+	fs.Parse(args)
+
+	var suite *experiments.Suite
+	if *fast {
+		suite = pageforgesim.NewFastSuite()
+	} else {
+		suite = pageforgesim.NewSuite()
+	}
+	suite.Cfg.Seed = *seed
+	suite.Parallelism = *parallel
+	progress := experiments.NewProgressReporter(os.Stderr)
+	suite.Reporter = progress
+
+	start := time.Now()
+	if err := suite.RunAll(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	type keyMetrics struct {
+		AvgDemandLatency float64 `json:"avg_demand_latency_cycles"`
+		DemandLatP95     float64 `json:"demand_latency_p95_cycles"`
+		DemandLatP99     float64 `json:"demand_latency_p99_cycles"`
+		L3MissRate       float64 `json:"l3_miss_rate"`
+		TotalGBps        float64 `json:"total_gbps"`
+		SavedFrac        float64 `json:"memory_savings_frac"`
+	}
+	artifact := struct {
+		Schema      string                  `json:"schema"`
+		GoVersion   string                  `json:"go_version"`
+		Fast        bool                    `json:"fast"`
+		Seed        uint64                  `json:"seed"`
+		Parallelism int                     `json:"parallelism"`
+		ElapsedSecs float64                 `json:"elapsed_seconds"`
+		Runs        []experiments.RunRecord `json:"runs"`
+		KeyMetrics  map[string]keyMetrics   `json:"key_metrics"`
+	}{
+		Schema:      experiments.DocSchema,
+		GoVersion:   runtime.Version(),
+		Fast:        *fast,
+		Seed:        *seed,
+		Parallelism: *parallel,
+		ElapsedSecs: elapsed.Seconds(),
+		Runs:        progress.Records(),
+		KeyMetrics:  make(map[string]keyMetrics),
+	}
+	for key, r := range suite.Results() {
+		artifact.KeyMetrics[key] = keyMetrics{
+			AvgDemandLatency: r.AvgDemandLatency,
+			DemandLatP95:     r.DemandLatP95,
+			DemandLatP99:     r.DemandLatP99,
+			L3MissRate:       r.L3MissRate,
+			TotalGBps:        r.TotalGBps,
+			SavedFrac:        r.Footprint.Savings(),
+		}
+	}
+	if err := writeFileJSON(*out, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(artifact)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d runs in %.2fs -> %s\n", len(artifact.Runs), elapsed.Seconds(), *out)
 }
 
 // sweep runs the dedup-aggressiveness study: the sleep_millisecs x

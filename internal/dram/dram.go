@@ -24,6 +24,12 @@ const (
 	numSources
 )
 
+// Sources lists every traffic source, for per-source accounting walks
+// (the observability layer's bandwidth breakdowns).
+func Sources() []Source {
+	return []Source{SrcCore, SrcKSM, SrcPageForge, SrcScrub}
+}
+
 // String renders the source.
 func (s Source) String() string {
 	switch s {
@@ -109,6 +115,10 @@ type DRAM struct {
 	Stats Stats
 	// windows[src] maps window index -> bytes transferred in that window.
 	windows [numSources]map[uint64]uint64
+	// Per-bank accounting for the observability layer: accesses and
+	// row-buffer hits, indexed [channel][rank*banksPerRank+bank].
+	bankAccess  [][]uint64
+	bankRowHits [][]uint64
 }
 
 // New builds an idle memory system.
@@ -123,6 +133,8 @@ func New(cfg Config) *DRAM {
 			banks[i].openRow = -1
 		}
 		d.banks = append(d.banks, banks)
+		d.bankAccess = append(d.bankAccess, make([]uint64, len(banks)))
+		d.bankRowHits = append(d.bankRowHits, make([]uint64, len(banks)))
 	}
 	for i := range d.windows {
 		d.windows[i] = make(map[uint64]uint64)
@@ -183,11 +195,13 @@ func (d *DRAM) Access(addr uint64, now uint64, write bool, src Source) uint64 {
 		start += wait
 	}
 	d.Stats.AccessBySrc[src]++
+	d.bankAccess[g.Channel][g.Bank]++
 
 	var access uint64
 	switch {
 	case bk.openRow == g.Row:
 		d.Stats.RowHits++
+		d.bankRowHits[g.Channel][g.Bank]++
 		access = d.cfg.TCL
 	case bk.openRow == -1:
 		d.Stats.RowCloseds++
@@ -301,3 +315,12 @@ func (d *DRAM) RowHitRate() float64 {
 
 // Config returns the configuration (read-only use).
 func (d *DRAM) Config() Config { return d.cfg }
+
+// BankAccesses reports per-bank access counts, indexed
+// [channel][rank*banksPerRank+bank]. The returned slices are the live
+// accounting arrays — read-only for callers.
+func (d *DRAM) BankAccesses() [][]uint64 { return d.bankAccess }
+
+// BankRowHits reports per-bank row-buffer hit counts, same indexing as
+// BankAccesses.
+func (d *DRAM) BankRowHits() [][]uint64 { return d.bankRowHits }

@@ -113,7 +113,7 @@ func TestFaultedSuiteParallelDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if *a != *b {
+		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s diverged under parallel execution:\n%+v\n%+v", app.Name, a, b)
 		}
 	}

@@ -99,8 +99,8 @@ type stuckCell struct {
 // memctrl's FaultModel interface structurally (Corrupt + Rewrite).
 type Model struct {
 	cfg   Config
-	rng   *sim.RNG                // per-read transient draws
-	stuck map[uint64][]stuckCell  // line addr -> hard-failed cells
+	rng   *sim.RNG               // per-read transient draws
+	stuck map[uint64][]stuckCell // line addr -> hard-failed cells
 	// lastWrite records, per line, the cycle of the last rewrite; latent
 	// retention flips are the arrivals of a deterministic per-line renewal
 	// process in (lastWrite, now]. Lines never written use time zero.

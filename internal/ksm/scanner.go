@@ -1,5 +1,7 @@
 package ksm
 
+import "repro/internal/obs"
+
 // Costs models what the software KSM kthread pays, in core cycles, for each
 // primitive. The defaults are calibrated so that the per-candidate cycle
 // breakdown matches Table 4 of the paper (on average ~52% of KSM cycles in
@@ -50,6 +52,12 @@ func (c CycleBreakdown) Total() uint64 { return c.Compare + c.Hash + c.Other }
 type Scanner struct {
 	Alg   *Algorithm
 	Costs Costs
+
+	// Trace receives merge events when enabled. The scanner has no wall
+	// clock of its own — TraceNow supplies the platform's current cycle for
+	// event timestamps (events are emitted untimed when it is nil).
+	Trace    obs.Scope
+	TraceNow func() uint64
 
 	// Cycles is the cumulative core-cycle consumption, broken down.
 	Cycles CycleBreakdown
@@ -131,6 +139,17 @@ func (s *Scanner) ScanOne() (merged, passEnded, ok bool) {
 	}()
 	a.Stats.PagesScanned++
 	s.Cycles.Other += s.Costs.CandidateOverhead
+	if s.Trace.Enabled() {
+		defer func() {
+			if merged {
+				var ts uint64
+				if s.TraceNow != nil {
+					ts = s.TraceNow()
+				}
+				s.Trace.Instant(obs.TIDDriver, "merge", "merge", ts, "gfn", uint64(id.GFN))
+			}
+		}()
+	}
 
 	if a.SkipCandidate(id) {
 		return false, passEnded, true

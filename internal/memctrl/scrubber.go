@@ -3,6 +3,7 @@ package memctrl
 import (
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // ueLogCap bounds the scrubber's uncorrectable-address log.
@@ -28,6 +29,9 @@ type ScrubStats struct {
 type Scrubber struct {
 	MC *Controller
 
+	// Trace receives per-slice and UE-discovery events when enabled.
+	Trace obs.Scope
+
 	cursor uint64 // next line index over the physical array
 	Stats  ScrubStats
 	// UEAddrs logs the first ueLogCap uncorrectable line addresses found.
@@ -45,7 +49,13 @@ func (s *Scrubber) Step(now uint64, budget int) uint64 {
 	if totalLines == 0 || budget <= 0 {
 		return now
 	}
+	start := now
 	issued := 0
+	defer func() {
+		if issued > 0 && s.Trace.Enabled() {
+			s.Trace.Complete(obs.TIDScrub, "scrub", "scrub_slice", start, now-start, "lines", uint64(issued))
+		}
+	}()
 	// One array's worth of cursor advances per call bounds the skip walk
 	// when little memory is allocated.
 	for iter := uint64(0); iter < totalLines && issued < budget; iter++ {
@@ -75,6 +85,9 @@ func (s *Scrubber) Step(now uint64, budget int) uint64 {
 			s.Stats.Uncorrectable++
 			if len(s.UEAddrs) < ueLogCap {
 				s.UEAddrs = append(s.UEAddrs, addr)
+			}
+			if s.Trace.Enabled() {
+				s.Trace.Instant(obs.TIDScrub, "ras", "scrub_ue", now, "addr", addr)
 			}
 		case s.MC.Stats.ECCCorrected > corrBefore:
 			// Corrected: write the repaired line back, clearing the

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// The histogram is log-bucketed: each power-of-two octave is split into
+// subBuckets linear sub-buckets, so bucket width is at most 1/subBuckets
+// of the bucket's lower bound (6.25% relative resolution at 16). That is
+// the whole accuracy contract: any quantile is within one bucket of the
+// exact-sort answer, i.e. within ~6.25% relative error, at O(1) memory
+// per octave instead of retaining samples (sim.Sample) — which matters
+// for the measurement phase's per-access demand-latency stream.
+const (
+	subBucketBits = 4
+	subBuckets    = 1 << subBucketBits
+	// expBias keeps bucket keys positive across float64's full exponent
+	// range so integer key order equals numeric value order.
+	expBias = 1100
+)
+
+// bucketKey maps a positive value to its bucket.
+func bucketKey(v float64) int32 {
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	sub := int32((frac - 0.5) * (2 * subBuckets))
+	if sub >= subBuckets {
+		sub = subBuckets - 1
+	}
+	return (int32(exp)+expBias)<<subBucketBits | sub
+}
+
+// bucketBounds is the inverse: the half-open value range [lo, hi) of a key.
+func bucketBounds(key int32) (lo, hi float64) {
+	exp := int(key>>subBucketBits) - expBias
+	sub := float64(key & (subBuckets - 1))
+	lo = math.Ldexp(0.5+sub/(2*subBuckets), exp)
+	hi = math.Ldexp(0.5+(sub+1)/(2*subBuckets), exp)
+	return lo, hi
+}
+
+// Histogram is a streaming log-bucketed histogram over non-negative
+// observations (negative and NaN values are folded into the zero bucket).
+// It reports mean, min, max exactly and quantiles to within one bucket.
+type Histogram struct {
+	count   uint64
+	zeros   uint64 // observations <= 0 (and NaN)
+	sum     float64
+	min     float64
+	max     float64
+	buckets map[int32]uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int32]uint64)}
+}
+
+// Add folds one observation in.
+func (h *Histogram) Add(v float64) {
+	h.count++
+	if h.count == 1 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	if !(v > 0) { // catches 0, negatives, and NaN
+		h.zeros++
+		return
+	}
+	h.sum += v
+	h.buckets[bucketKey(v)]++
+}
+
+// N reports the number of observations.
+func (h *Histogram) N() uint64 { return h.count }
+
+// Mean reports the exact arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min reports the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max reports the largest observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Sum reports the sum of positive observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Reset discards all state but keeps the backing map.
+func (h *Histogram) Reset() {
+	for k := range h.buckets {
+		delete(h.buckets, k)
+	}
+	h.count, h.zeros, h.sum, h.min, h.max = 0, 0, 0, 0, 0
+}
+
+// sortedKeys returns the occupied bucket keys in ascending value order.
+func (h *Histogram) sortedKeys() []int32 {
+	keys := make([]int32, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Quantile reports the q-quantile (q in [0, 1]) by linear interpolation
+// inside the containing bucket, clamped to the exact observed [min, max].
+// The clamp makes degenerate distributions exact: a constant stream
+// reports every quantile equal to that constant.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	cum := float64(h.zeros)
+	if cum >= target {
+		return h.clamp(0)
+	}
+	for _, k := range h.sortedKeys() {
+		n := float64(h.buckets[k])
+		if cum+n >= target {
+			lo, hi := bucketBounds(k)
+			return h.clamp(lo + (target-cum)/n*(hi-lo))
+		}
+		cum += n
+	}
+	return h.max
+}
+
+func (h *Histogram) clamp(v float64) float64 {
+	if v < h.min {
+		return h.min
+	}
+	if v > h.max {
+		return h.max
+	}
+	return v
+}
+
+// P50 reports the median.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P95 reports the 95th percentile, the paper's tail metric.
+func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
+
+// P99 reports the 99th percentile.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// HistBucket is one occupied bucket in a snapshot: the half-open value
+// range [Lo, Hi) and its observation count. Key is the internal bucket
+// index, retained so Diff can subtract bucket-wise.
+type HistBucket struct {
+	Key int32   `json:"key"`
+	Lo  float64 `json:"lo"`
+	Hi  float64 `json:"hi"`
+	N   uint64  `json:"n"`
+}
+
+// HistogramSnapshot is the serializable summary of a histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Zeros uint64  `json:"zeros,omitempty"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Buckets are ordered by value (ascending Lo).
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot summarizes the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count,
+		Zeros: h.zeros,
+		Sum:   h.sum,
+		Mean:  h.Mean(),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.P50(),
+		P95:   h.P95(),
+		P99:   h.P99(),
+	}
+	for _, k := range h.sortedKeys() {
+		lo, hi := bucketBounds(k)
+		s.Buckets = append(s.Buckets, HistBucket{Key: k, Lo: lo, Hi: hi, N: h.buckets[k]})
+	}
+	return s
+}
+
+// Diff subtracts prev bucket-wise and recomputes the distribution summary
+// over the window. The exact per-window min/max are not recoverable from
+// cumulative state, so they report the window's occupied bucket bounds.
+func (s HistogramSnapshot) Diff(prev HistogramSnapshot) HistogramSnapshot {
+	prevN := make(map[int32]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevN[b.Key] = b.N
+	}
+	w := &Histogram{buckets: make(map[int32]uint64)}
+	for _, b := range s.Buckets {
+		if n := b.N - prevN[b.Key]; n > 0 {
+			w.buckets[b.Key] = n
+		}
+	}
+	w.count = s.Count - prev.Count
+	w.zeros = s.Zeros - prev.Zeros
+	w.sum = s.Sum - prev.Sum
+	if keys := w.sortedKeys(); len(keys) > 0 {
+		w.min, _ = bucketBounds(keys[0])
+		_, w.max = bucketBounds(keys[len(keys)-1])
+		if w.zeros > 0 {
+			w.min = 0
+		}
+	}
+	return w.Snapshot()
+}

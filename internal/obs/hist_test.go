@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the sort-based reference: nearest-rank with the same
+// target convention the histogram uses (rank q*n, 1-indexed cumulative).
+func exactQuantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// maxRelErr is the histogram's accuracy contract: one bucket of 16
+// sub-buckets per octave is 6.25% wide relative to its lower bound, plus
+// interpolation slack against the nearest-rank reference.
+const maxRelErr = 0.08
+
+func checkQuantiles(t *testing.T, name string, xs []float64) {
+	t.Helper()
+	h := NewHistogram()
+	for _, x := range xs {
+		h.Add(x)
+	}
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := exactQuantile(xs, q)
+		if want == 0 {
+			if got > 1e-9 {
+				t.Errorf("%s q=%g: got %g, want 0", name, q, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > maxRelErr {
+			t.Errorf("%s q=%g: got %g, exact %g (rel err %.3f > %.3f)", name, q, got, want, rel, maxRelErr)
+		}
+	}
+	// Exact aggregates.
+	var sum, mn, mx float64
+	for i, x := range xs {
+		sum += math.Max(x, 0)
+		if i == 0 {
+			mn, mx = x, x
+		} else {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+	}
+	if h.N() != uint64(len(xs)) {
+		t.Errorf("%s: N=%d want %d", name, h.N(), len(xs))
+	}
+	if len(xs) > 0 {
+		if math.Abs(h.Mean()-sum/float64(len(xs))) > 1e-6*math.Abs(h.Mean())+1e-9 {
+			t.Errorf("%s: mean %g want %g", name, h.Mean(), sum/float64(len(xs)))
+		}
+		if h.Min() != mn || h.Max() != mx {
+			t.Errorf("%s: min/max %g/%g want %g/%g", name, h.Min(), h.Max(), mn, mx)
+		}
+	}
+}
+
+func TestQuantileRandomDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	uniform := make([]float64, 20000)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 1e6
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	lognormal := make([]float64, 20000)
+	for i := range lognormal {
+		lognormal[i] = math.Exp(rng.NormFloat64()*1.5 + 5)
+	}
+	checkQuantiles(t, "lognormal", lognormal)
+
+	// Latency-shaped: a hit mode plus a heavy miss tail (the demand-latency
+	// stream the measurement phase feeds this histogram).
+	latency := make([]float64, 20000)
+	for i := range latency {
+		if rng.Float64() < 0.7 {
+			latency[i] = 20
+		} else {
+			latency[i] = 150 + rng.Float64()*400
+		}
+	}
+	checkQuantiles(t, "latency", latency)
+}
+
+func TestQuantileAdversarialDistributions(t *testing.T) {
+	// Constant stream: every quantile must be exactly the constant (the
+	// min/max clamp guarantees it despite bucket width).
+	constant := make([]float64, 1000)
+	for i := range constant {
+		constant[i] = 100
+	}
+	h := NewHistogram()
+	for _, x := range constant {
+		h.Add(x)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 100 {
+			t.Errorf("constant q=%g: got %g want 100", q, got)
+		}
+	}
+	if h.P95() < h.Mean() {
+		t.Errorf("constant: p95 %g < mean %g", h.P95(), h.Mean())
+	}
+
+	// Two-point mass at bucket boundaries.
+	twoPoint := make([]float64, 0, 2000)
+	for i := 0; i < 1900; i++ {
+		twoPoint = append(twoPoint, 64) // exact power of two: bucket lower bound
+	}
+	for i := 0; i < 100; i++ {
+		twoPoint = append(twoPoint, 65536)
+	}
+	checkQuantiles(t, "two-point", twoPoint)
+
+	// Values straddling every sub-bucket boundary of one octave.
+	var boundary []float64
+	for i := 0; i < subBuckets; i++ {
+		v := math.Ldexp(0.5+float64(i)/(2*subBuckets), 10)
+		boundary = append(boundary, v, math.Nextafter(v, 0), math.Nextafter(v, math.Inf(1)))
+	}
+	checkQuantiles(t, "sub-bucket boundaries", boundary)
+
+	// Zeros and negatives fold into the zero bucket and never panic.
+	h2 := NewHistogram()
+	for _, v := range []float64{0, -5, math.NaN(), 10, 10, 10} {
+		h2.Add(v)
+	}
+	if h2.N() != 6 {
+		t.Fatalf("N=%d want 6", h2.N())
+	}
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Errorf("q99 with zeros: got %g want 10", got)
+	}
+	if got := h2.Quantile(0.25); got != 0 { // the zero bucket
+		t.Errorf("q25 with zeros: got %g want 0", got)
+	}
+
+	// Empty histogram.
+	e := NewHistogram()
+	if e.Quantile(0.95) != 0 || e.Mean() != 0 || e.N() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestQuantileMonotonicAndOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	for i := 0; i < 50000; i++ {
+		h.Add(math.Exp(rng.NormFloat64() * 2))
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+	if !(h.P50() <= h.P95() && h.P95() <= h.P99() && h.P99() <= h.Max()) {
+		t.Fatalf("ordering violated: p50=%g p95=%g p99=%g max=%g", h.P50(), h.P95(), h.P99(), h.Max())
+	}
+}
+
+func TestHistogramSnapshotDiff(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Add(100)
+	}
+	before := h.Snapshot()
+	for i := 0; i < 400; i++ {
+		h.Add(1000)
+	}
+	diff := h.Snapshot().Diff(before)
+	if diff.Count != 400 {
+		t.Fatalf("diff count %d want 400", diff.Count)
+	}
+	// The window contains only the 1000s: its p50 must sit in their bucket.
+	lo, hi := bucketBounds(bucketKey(1000))
+	if diff.P50 < lo || diff.P50 > hi {
+		t.Errorf("diff p50 %g outside window bucket [%g,%g)", diff.P50, lo, hi)
+	}
+	if diff.Sum != 400*1000 {
+		t.Errorf("diff sum %g want 400000", diff.Sum)
+	}
+	var n uint64
+	for _, b := range diff.Buckets {
+		n += b.N
+	}
+	if n != 400 {
+		t.Errorf("diff bucket mass %d want 400", n)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	h.Add(50)
+	h.Reset()
+	if h.N() != 0 || h.Mean() != 0 || h.Quantile(0.95) != 0 || len(h.Snapshot().Buckets) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	h.Add(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatal("post-reset min/max wrong")
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(20 + i%600))
+	}
+}

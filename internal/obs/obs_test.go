@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRegistrySnapshotDeterminism(t *testing.T) {
+	build := func() *Snapshot {
+		r := NewRegistry()
+		r.Counter("memctrl/demand_reads").Add(100)
+		r.Counter("dram/row_hits").Set(42)
+		r.SetCounter("cache/l3_misses", 7)
+		r.SetGauge("faults/ue_rate", 1e-6)
+		h := r.Histogram("platform/demand_latency_cycles")
+		for i := 0; i < 1000; i++ {
+			h.Add(float64(20 + i%300))
+		}
+		return r.Snapshot()
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical runs produced different snapshots")
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("snapshot JSON not byte-identical")
+	}
+}
+
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("counter handle not stable")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge handle not stable")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("histogram handle not stable")
+	}
+	r.Counter("x").Inc()
+	r.Counter("x").Add(4)
+	if got := r.Counter("x").Value(); got != 5 {
+		t.Fatalf("counter=%d want 5", got)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reads")
+	g := r.Gauge("rate")
+	c.Add(10)
+	g.Set(0.5)
+	before := r.Snapshot()
+	c.Add(90)
+	g.Set(0.9)
+	diff := r.Snapshot().Diff(before)
+	if diff.Counters["reads"] != 90 {
+		t.Fatalf("diff counter=%d want 90", diff.Counters["reads"])
+	}
+	if diff.Gauges["rate"] != 0.9 {
+		t.Fatalf("diff gauge=%g want 0.9 (instantaneous)", diff.Gauges["rate"])
+	}
+	// Diff against nil treats prev as zero.
+	full := r.Snapshot().Diff(nil)
+	if full.Counters["reads"] != 100 {
+		t.Fatalf("diff(nil) counter=%d want 100", full.Counters["reads"])
+	}
+}
+
+// TestRegistryConcurrentRegistration exercises the registration lock under
+// -race: many goroutines lazily registering (each mutating only its own
+// metric, per the ownership model).
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g))
+			c := r.Counter("c/" + name)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			h := r.Histogram("h/" + name)
+			for i := 0; i < 100; i++ {
+				h.Add(float64(i))
+			}
+			r.Gauge("g/" + name).Set(float64(g))
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if len(s.Counters) != 16 || len(s.Histograms) != 16 || len(s.Gauges) != 16 {
+		t.Fatalf("lost registrations: %d/%d/%d", len(s.Counters), len(s.Histograms), len(s.Gauges))
+	}
+	for name, v := range s.Counters {
+		if v != 1000 {
+			t.Fatalf("%s=%d want 1000", name, v)
+		}
+	}
+}

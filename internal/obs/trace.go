@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// CyclesPerMicrosecond converts simulation cycles (2 GHz core clock) to
+// the microsecond timestamps the Chrome trace_event format expects.
+const CyclesPerMicrosecond = 2000.0
+
+// Thread lanes within one trace process (= one simulation run). Perfetto
+// renders each as a named track.
+const (
+	TIDPlatform int32 = 1 // converge passes, measurement intervals, churn
+	TIDDriver   int32 = 2 // OS-side driver / KSM kthread: fills, walks, merges
+	TIDEngine   int32 = 3 // PageForge hardware: scan-table batch processing
+	TIDRAS      int32 = 4 // UE/poison incidents, retries, degradation trips
+	TIDScrub    int32 = 5 // patrol-scrub slices
+)
+
+// Event is one typed simulation event. TS and Dur are in cycles; Ph is
+// the Chrome phase ('X' complete, 'i' instant). An optional single
+// key/value argument covers the taxonomy's payloads (pass index, entry
+// counts, frame numbers) without allocating a map per event.
+type Event struct {
+	TS     uint64
+	Dur    uint64
+	Ph     byte
+	PID    int32
+	TID    int32
+	Cat    string
+	Name   string
+	ArgKey string
+	ArgVal uint64
+}
+
+// Tracer records events into a bounded ring buffer. A nil *Tracer is the
+// disabled state: every method no-ops, so call sites need no guards
+// (hot paths may still branch on Enabled to avoid building Event values).
+// Emission is synchronized — concurrently executing runs share one tracer,
+// each under its own process id from NewProcess.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped uint64
+	meta    []metaEvent
+	nextPID int32
+}
+
+// metaEvent names a process or thread ('M' phase). Kept outside the ring
+// so wraparound never drops naming.
+type metaEvent struct {
+	name string // "process_name" or "thread_name"
+	pid  int32
+	tid  int32
+	arg  string
+}
+
+// DefaultTraceCapacity bounds the ring when NewTracer is given no size.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer returns a tracer retaining the last capacity events
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether tracing is on; nil-safe, so hot paths can guard
+// event construction with one branch.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// NewProcess allocates a process id for one simulation run and names it.
+func (t *Tracer) NewProcess(name string) int32 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextPID++
+	pid := t.nextPID
+	t.meta = append(t.meta, metaEvent{name: "process_name", pid: pid, arg: name})
+	return pid
+}
+
+// NameThread labels a thread lane within a process.
+func (t *Tracer) NameThread(pid, tid int32, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.meta = append(t.meta, metaEvent{name: "thread_name", pid: pid, tid: tid, arg: name})
+}
+
+// Emit records one event, overwriting the oldest when the ring is full.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.full {
+		t.dropped++
+	}
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Dropped reports how many events the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len reports how many events the ring currently retains.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.buf[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// traceEvent is the Chrome trace_event JSON shape.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON Object Format of the trace_event spec; Perfetto
+// and chrome://tracing both accept it.
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteJSON serializes the trace in Chrome trace_event JSON object format.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	t.mu.Lock()
+	meta := append([]metaEvent(nil), t.meta...)
+	dropped := t.dropped
+	t.mu.Unlock()
+	events := t.Events()
+
+	out := traceFile{DisplayTimeUnit: "ms", TraceEvents: make([]traceEvent, 0, len(meta)+len(events))}
+	if dropped > 0 {
+		out.OtherData = map[string]any{"droppedEvents": dropped}
+	}
+	for _, m := range meta {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: m.name,
+			Ph:   "M",
+			PID:  m.pid,
+			TID:  m.tid,
+			Args: map[string]any{"name": m.arg},
+		})
+	}
+	for _, e := range events {
+		te := traceEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   string(e.Ph),
+			TS:   float64(e.TS) / CyclesPerMicrosecond,
+			PID:  e.PID,
+			TID:  e.TID,
+		}
+		if e.Ph == 'X' {
+			dur := float64(e.Dur) / CyclesPerMicrosecond
+			te.Dur = &dur
+		}
+		if e.Ph == 'i' {
+			te.S = "t" // thread-scoped instant
+		}
+		if e.ArgKey != "" {
+			te.Args = map[string]any{e.ArgKey: e.ArgVal}
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Scope binds a tracer to one run's process id so instrumented components
+// hold a single value. The zero Scope is disabled.
+type Scope struct {
+	T   *Tracer
+	PID int32
+}
+
+// Enabled reports whether this scope traces.
+func (s Scope) Enabled() bool { return s.T != nil }
+
+// Complete emits an 'X' (duration) event.
+func (s Scope) Complete(tid int32, cat, name string, start, dur uint64, argKey string, argVal uint64) {
+	if s.T == nil {
+		return
+	}
+	s.T.Emit(Event{TS: start, Dur: dur, Ph: 'X', PID: s.PID, TID: tid, Cat: cat, Name: name, ArgKey: argKey, ArgVal: argVal})
+}
+
+// Instant emits an 'i' (point-in-time) event.
+func (s Scope) Instant(tid int32, cat, name string, ts uint64, argKey string, argVal uint64) {
+	if s.T == nil {
+		return
+	}
+	s.T.Emit(Event{TS: ts, Ph: 'i', PID: s.PID, TID: tid, Cat: cat, Name: name, ArgKey: argKey, ArgVal: argVal})
+}

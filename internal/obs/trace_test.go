@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{TS: uint64(i), Ph: 'i', Name: fmt.Sprintf("e%d", i)})
+	}
+	if got := tr.Len(); got != 8 {
+		t.Fatalf("Len=%d want 8", got)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Fatalf("Dropped=%d want 12", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("Events len=%d want 8", len(evs))
+	}
+	// The survivors are the last 8, in emission order.
+	for i, e := range evs {
+		if want := uint64(12 + i); e.TS != want {
+			t.Fatalf("event %d: TS=%d want %d", i, e.TS, want)
+		}
+	}
+}
+
+func TestTracerNilIsNoop(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.Emit(Event{Name: "x"}) // must not panic
+	tr.NameThread(1, 1, "t")
+	if tr.NewProcess("p") != 0 || tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+	var s Scope
+	s.Complete(TIDEngine, "c", "n", 0, 1, "", 0)
+	s.Instant(TIDEngine, "c", "n", 0, "", 0)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer JSON invalid: %v", err)
+	}
+}
+
+// TestTraceJSONRoundTrip validates the serialized shape against what the
+// Chrome trace_event loader (Perfetto's JSON importer) requires: an object
+// with a traceEvents array whose entries carry name/ph/ts/pid/tid, 'X'
+// events a dur, metadata events their args.name.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(64)
+	pid := tr.NewProcess("PageForge/img_dnn")
+	if pid != 1 {
+		t.Fatalf("pid=%d want 1", pid)
+	}
+	tr.NameThread(pid, TIDEngine, "pfe-engine")
+	sc := Scope{T: tr, PID: pid}
+	sc.Complete(TIDEngine, "pfe", "batch", 1000, 7486, "compared", 31)
+	sc.Instant(TIDRAS, "ras", "poison", 2500, "pfn", 77)
+	sc.Complete(TIDPlatform, "interval", "interval", 0, 10_000_000, "k", 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Errorf("displayTimeUnit=%q", doc.Unit)
+	}
+	if len(doc.TraceEvents) != 5 { // 2 metadata + 3 events
+		t.Fatalf("traceEvents len=%d want 5", len(doc.TraceEvents))
+	}
+	var sawMeta, sawX, sawI bool
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if _, ok := e["name"].(string); !ok {
+			t.Fatalf("event missing name: %v", e)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("event missing pid: %v", e)
+		}
+		switch ph {
+		case "M":
+			sawMeta = true
+			args, ok := e["args"].(map[string]any)
+			if !ok || args["name"] == nil {
+				t.Fatalf("metadata without args.name: %v", e)
+			}
+		case "X":
+			sawX = true
+			if _, ok := e["dur"].(float64); !ok {
+				t.Fatalf("'X' event without dur: %v", e)
+			}
+			if _, ok := e["ts"].(float64); !ok {
+				t.Fatalf("'X' event without ts: %v", e)
+			}
+		case "i":
+			sawI = true
+			if e["s"] != "t" {
+				t.Fatalf("instant without scope: %v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ph)
+		}
+	}
+	if !sawMeta || !sawX || !sawI {
+		t.Fatalf("missing phases: M=%v X=%v i=%v", sawMeta, sawX, sawI)
+	}
+	// Timestamp scaling: 1000 cycles at 2GHz is 0.5us.
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "batch" {
+			if ts := e["ts"].(float64); ts != 0.5 {
+				t.Errorf("batch ts=%g want 0.5us", ts)
+			}
+			if dur := e["dur"].(float64); dur != 7486.0/2000 {
+				t.Errorf("batch dur=%g", dur)
+			}
+			args := e["args"].(map[string]any)
+			if args["compared"].(float64) != 31 {
+				t.Errorf("batch args=%v", args)
+			}
+		}
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pid := tr.NewProcess(fmt.Sprintf("run-%d", g))
+			sc := Scope{T: tr, PID: pid}
+			for i := 0; i < 200; i++ {
+				sc.Instant(TIDDriver, "merge", "merge", uint64(i), "", 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 1024 {
+		t.Fatalf("Len=%d want 1024 (ring full)", got)
+	}
+	if tr.Dropped() != 8*200-1024 {
+		t.Fatalf("Dropped=%d", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace serialized to invalid JSON")
+	}
+}

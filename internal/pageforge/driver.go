@@ -3,6 +3,7 @@ package pageforge
 import (
 	"repro/internal/ksm"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/rbtree"
 	"repro/internal/vm"
 )
@@ -62,6 +63,9 @@ type Driver struct {
 	Alg *ksm.Algorithm
 	HW  *Engine
 	Cfg DriverConfig
+
+	// Trace receives per-search and per-merge events when enabled.
+	Trace obs.Scope
 
 	// CoreCycles is the total processor time consumed by the driver
 	// (polls, table refills, merge bookkeeping).
@@ -160,7 +164,17 @@ func (d *Driver) runBatch(now uint64) (PFEInfo, uint64) {
 // the first batch for this candidate (insert_PFE resets the background
 // hash); finishKey marks the search during which the hash key must
 // complete (the stable-tree search per Section 3.4).
-func (d *Driver) searchTree(cand mem.PFN, root *rbtree.Node, now uint64, first, finishKey bool) (searchResult, bool) {
+func (d *Driver) searchTree(cand mem.PFN, root *rbtree.Node, now uint64, first, finishKey bool) (res searchResult, notFound bool) {
+	start, batchesBefore := now, d.Batches
+	defer func() {
+		if d.Trace.Enabled() {
+			name := "stable_search"
+			if !finishKey {
+				name = "unstable_search"
+			}
+			d.Trace.Complete(obs.TIDDriver, "scan", name, start, res.now-start, "batches", d.Batches-batchesBefore)
+		}
+	}()
 	node := root
 	for node != nil {
 		batch, sentinels := d.loadBatch(node)
@@ -253,6 +267,9 @@ func (d *Driver) faultFallback(id vm.PageID, pfn mem.PFN, recordHash bool, now u
 	d.quarantinePFN(pfn)
 	d.CoreCycles += d.Cfg.FallbackCost
 	now += d.Cfg.FallbackCost
+	if d.Trace.Enabled() {
+		d.Trace.Instant(obs.TIDRAS, "ras", "sw_fallback", now, "pfn", uint64(pfn))
+	}
 	a := d.Alg
 	if node := a.Stable.Lookup(pfn); node != nil && node.PFN != pfn {
 		// Merging into stable releases the suspect frame: its mappers are
@@ -283,6 +300,13 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 	}
 	a.Stats.PagesScanned++
 	d.CoreCycles += d.Cfg.PollCost // candidate selection bookkeeping
+	if d.Trace.Enabled() {
+		defer func() {
+			if merged {
+				d.Trace.Instant(obs.TIDDriver, "merge", "merge", doneAt, "gfn", uint64(id.GFN))
+			}
+		}()
+	}
 
 	if a.SkipCandidate(id) {
 		return false, now, true

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/mem"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -44,6 +45,10 @@ type Engine struct {
 	// (not-Scanned) state, just like real asynchronous hardware.
 	doneAt uint64
 
+	// Trace receives per-batch and RAS incident events when enabled (the
+	// zero Scope is off and costs one branch per batch).
+	Trace obs.Scope
+
 	// Statistics.
 	BatchCycles   sim.Online // per-batch processing time (Table 5)
 	LinesFetched  uint64
@@ -51,6 +56,10 @@ type Engine struct {
 	Duplicates    uint64
 	KeysGenerated uint64
 	BusyCycles    uint64
+	// CompareEarlyExits counts page comparisons that stopped before the
+	// last line pair — the divergence-detection shortcut whose frequency
+	// governs how much of each candidate the engine actually streams.
+	CompareEarlyExits uint64
 	// RAS statistics: poisoned-line re-reads issued, retries that came
 	// back clean, and batches aborted on an unhealable poisoned line.
 	LineRetries   uint64
@@ -148,6 +157,7 @@ func (e *Engine) Trigger(now uint64) {
 		panic("pageforge: Trigger without insert_PFE")
 	}
 	clock := now
+	comparedBefore := e.PagesCompared
 
 	// Walk the table from Ptr, comparing the candidate page line-by-line
 	// in lockstep with each table page.
@@ -203,6 +213,16 @@ func (e *Engine) Trigger(now uint64) {
 	spent := clock - now
 	e.BusyCycles += spent
 	e.BatchCycles.Add(float64(spent))
+	if e.Trace.Enabled() {
+		name := "batch"
+		switch {
+		case p.Fault:
+			name = "batch_fault"
+		case p.Duplicate:
+			name = "batch_duplicate"
+		}
+		e.Trace.Complete(obs.TIDEngine, "pfe", name, now, spent, "compared", e.PagesCompared-comparedBefore)
+	}
 }
 
 // fetchLine issues one line fetch with bounded poison retries, each
@@ -214,6 +234,9 @@ func (e *Engine) fetchLine(pfn mem.PFN, li int, start uint64) (memctrl.FetchResu
 	res := e.MC.FetchLine(pfn, li, start, dram.SrcPageForge)
 	e.LinesFetched++
 	done := start + res.Latency
+	if res.Poisoned && e.Trace.Enabled() {
+		e.Trace.Instant(obs.TIDRAS, "ras", "poison", done, "pfn", uint64(pfn))
+	}
 	for r := 0; res.Poisoned && r < MaxLineRetries; r++ {
 		e.LineRetries++
 		res = e.MC.FetchLine(pfn, li, done, dram.SrcPageForge)
@@ -221,7 +244,13 @@ func (e *Engine) fetchLine(pfn mem.PFN, li int, start uint64) (memctrl.FetchResu
 		done += res.Latency
 		if !res.Poisoned {
 			e.RetriesHealed++
+			if e.Trace.Enabled() {
+				e.Trace.Instant(obs.TIDRAS, "ras", "retry_healed", done, "pfn", uint64(pfn))
+			}
 		}
+	}
+	if res.Poisoned && e.Trace.Enabled() {
+		e.Trace.Instant(obs.TIDRAS, "ras", "poison_unhealed", done, "pfn", uint64(pfn))
 	}
 	return res, done
 }
@@ -251,6 +280,9 @@ func (e *Engine) comparePages(cand, other mem.PFN, clock *uint64) (cmp int, faul
 			return 0, true
 		}
 		if c := bytes.Compare(resA.Data, resB.Data); c != 0 {
+			if li < mem.LinesPerPage-1 {
+				e.CompareEarlyExits++
+			}
 			return c, false
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ksm"
 	"repro/internal/mem"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/pageforge"
 	"repro/internal/sim"
 	"repro/internal/tailbench"
@@ -45,9 +46,13 @@ type measurement struct {
 	clock *uint64
 	rng   *sim.RNG
 
-	coreZipf  []float64
-	burst     sim.Online
-	demandLat sim.Online
+	coreZipf []float64
+	burst    sim.Online
+	// demandLat is the full latency distribution of sampled application
+	// accesses (registered as platform/demand_latency_cycles): the latency
+	// experiments report its mean and tail quantiles, not just the mean.
+	demandLat *obs.Histogram
+	trace     obs.Scope
 	coldNext  uint64 // monotonically fresh cold-line counter
 	ksmNext   uint64 // monotonically fresh KSM-stream counter
 
@@ -78,11 +83,13 @@ func (p *pumpFetcher) FetchLine(pfn mem.PFN, lineIdx int, now uint64, src dram.S
 }
 
 func newMeasurement(img *tailbench.Image, hier *cache.Hierarchy, dr *dram.DRAM,
-	mc *memctrl.Controller, cfg Config, app tailbench.Profile, clock *uint64) *measurement {
+	mc *memctrl.Controller, cfg Config, app tailbench.Profile, clock *uint64,
+	reg *obs.Registry) *measurement {
 
 	m := &measurement{
 		img: img, hier: hier, dr: dr, mc: mc, cfg: cfg, app: app, clock: clock,
-		rng: sim.NewRNG(cfg.Seed ^ 0xBEEF),
+		rng:       sim.NewRNG(cfg.Seed ^ 0xBEEF),
+		demandLat: reg.Histogram("platform/demand_latency_cycles"),
 	}
 	total := 0.0
 	for i := 0; i < cfg.Cores; i++ {
@@ -239,8 +246,18 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) {
 			}
 		}
 		em.emitUntil(end)
+		if m.trace.Enabled() {
+			name := "interval"
+			if !measuring {
+				name = "warmup_interval"
+			}
+			m.trace.Complete(obs.TIDPlatform, "interval", name, start, interval, "k", uint64(k))
+		}
 
 		if alg := algOf(scanner, driver); alg != nil && pagesSinceChurn >= alg.MergeablePages() {
+			if m.trace.Enabled() {
+				m.trace.Instant(obs.TIDPlatform, "interval", "churn", end, "pages", uint64(pagesSinceChurn))
+			}
 			m.img.ChurnVolatile()
 			pagesSinceChurn = 0
 		}
@@ -314,6 +331,10 @@ func (m *measurement) fill(res *Result) {
 	res.BurstStd = m.burst.Stddev()
 	res.L3MissRate = m.hier.L3MissRate()
 	res.AvgDemandLatency = m.demandLat.Mean()
+	res.DemandLatP50 = m.demandLat.P50()
+	res.DemandLatP95 = m.demandLat.P95()
+	res.DemandLatP99 = m.demandLat.P99()
+	res.DemandLatMax = m.demandLat.Max()
 	res.MeasuredCycles = uint64(m.cfg.MeasureIntervals) * m.cfg.IntervalCycles()
 }
 

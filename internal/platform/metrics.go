@@ -1,0 +1,129 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/ksm"
+	"repro/internal/memctrl"
+	"repro/internal/obs"
+	"repro/internal/pageforge"
+)
+
+// publishMetrics copies every simulation layer's end-of-run counters into
+// the registry, under stable slash-separated names, so one Snapshot carries
+// the whole machine state for -metrics / -json export. It runs once at the
+// end of a run: the layers keep their own plain counters on the hot paths
+// (an atomic per DRAM access would be pure overhead) and the registry is
+// the export boundary.
+func publishMetrics(reg *obs.Registry, mc *memctrl.Controller, dr *dram.DRAM,
+	hier *cache.Hierarchy, scanner *ksm.Scanner, driver *pageforge.Driver, ras *rasState) {
+
+	// Memory controller: demand traffic, PageForge fetch routing,
+	// coalescing, and the ECC pipe.
+	ms := mc.Stats
+	reg.SetCounter("memctrl/demand_reads", ms.DemandReads)
+	reg.SetCounter("memctrl/demand_writes", ms.DemandWrites)
+	reg.SetCounter("memctrl/demand_coalesced", ms.DemandCoalesced)
+	reg.SetCounter("memctrl/pf_fetches", ms.PFFetches)
+	reg.SetCounter("memctrl/pf_network_hits", ms.PFNetworkHits)
+	reg.SetCounter("memctrl/pf_dram_reads", ms.PFDRAMReads)
+	reg.SetCounter("memctrl/pf_coalesced", ms.PFCoalesced)
+	reg.SetCounter("memctrl/ecc_encodes", ms.ECCEncodes)
+	reg.SetCounter("memctrl/ecc_decodes", ms.ECCDecodes)
+	reg.SetCounter("memctrl/ecc_corrected", ms.ECCCorrected)
+	reg.SetCounter("memctrl/ecc_uncorrectable", ms.ECCUncorrectable)
+
+	// DRAM: row-buffer outcomes, and per-source traffic/queueing (the
+	// Figure 11 decomposition).
+	ds := dr.Stats
+	reg.SetCounter("dram/reads", ds.Reads)
+	reg.SetCounter("dram/writes", ds.Writes)
+	reg.SetCounter("dram/row_hits", ds.RowHits)
+	reg.SetCounter("dram/row_misses", ds.RowMisses)
+	reg.SetCounter("dram/row_closeds", ds.RowCloseds)
+	reg.SetGauge("dram/row_hit_rate", dr.RowHitRate())
+	for _, s := range dram.Sources() {
+		reg.SetCounter("dram/bytes/"+s.String(), ds.BytesBySrc[s])
+		reg.SetCounter("dram/accesses/"+s.String(), ds.AccessBySrc[s])
+		reg.SetCounter("dram/bank_wait_cycles/"+s.String(), ds.BankWaitBySrc[s])
+		reg.SetCounter("dram/bus_wait_cycles/"+s.String(), ds.BusWaitBySrc[s])
+	}
+	// Per-bank counters, zero banks elided (geometry is 128 banks; runs
+	// touch a fraction and an all-zeros dump would drown the snapshot).
+	for ch, banks := range dr.BankAccesses() {
+		hits := dr.BankRowHits()[ch]
+		for b, n := range banks {
+			if n == 0 {
+				continue
+			}
+			reg.SetCounter(fmt.Sprintf("dram/bank/%d.%d/accesses", ch, b), n)
+			reg.SetCounter(fmt.Sprintf("dram/bank/%d.%d/row_hits", ch, b), hits[b])
+		}
+	}
+
+	// Shared cache.
+	l3 := hier.L3()
+	reg.SetCounter("cache/l3_hits", l3.Hits)
+	reg.SetCounter("cache/l3_misses", l3.Misses)
+	reg.SetGauge("cache/l3_miss_rate", hier.L3MissRate())
+
+	// Dedup algorithm outcomes (shared by both engines; under degradation
+	// the software scanner continues on the hardware driver's state, so
+	// exactly one Stats is live per run — the caller passes the engine that
+	// owns it).
+	publishKSMStats := func(prefix string, st ksm.Stats) {
+		reg.SetCounter(prefix+"/pages_scanned", st.PagesScanned)
+		reg.SetCounter(prefix+"/full_scans", st.FullScans)
+		reg.SetCounter(prefix+"/stable_merges", st.StableMerges)
+		reg.SetCounter(prefix+"/unstable_merges", st.UnstableMerges)
+		reg.SetCounter(prefix+"/zero_merges", st.ZeroMerges)
+		reg.SetCounter(prefix+"/failed_merges", st.FailedMerges)
+		reg.SetCounter(prefix+"/hash_matches", st.HashMatches)
+		reg.SetCounter(prefix+"/hash_mismatches", st.HashMismatches)
+		reg.SetCounter(prefix+"/hash_first_seen", st.HashFirstSeen)
+		reg.SetCounter(prefix+"/stale_unstable", st.StaleUnstable)
+		reg.SetCounter(prefix+"/smart_skips", st.SmartSkips)
+		reg.SetCounter(prefix+"/fault_fallbacks", st.FaultFallbacks)
+	}
+	if scanner != nil {
+		publishKSMStats("ksm", scanner.Alg.Stats)
+		reg.SetCounter("ksm/cycles_compare", scanner.Cycles.Compare)
+		reg.SetCounter("ksm/cycles_hash", scanner.Cycles.Hash)
+		reg.SetCounter("ksm/cycles_other", scanner.Cycles.Other)
+		reg.SetCounter("ksm/bytes_touched", scanner.BytesTouched)
+		reg.SetCounter("ksm/dram_bytes", scanner.DRAMBytes)
+	}
+	if driver != nil {
+		publishKSMStats("ksm", driver.Alg.Stats)
+		hw := driver.HW
+		reg.SetCounter("pageforge/batches", driver.Batches)
+		reg.SetCounter("pageforge/polls", driver.Polls)
+		reg.SetCounter("pageforge/driver_core_cycles", driver.CoreCycles)
+		reg.SetCounter("pageforge/pages_compared", hw.PagesCompared)
+		reg.SetCounter("pageforge/compare_early_exits", hw.CompareEarlyExits)
+		reg.SetCounter("pageforge/duplicates", hw.Duplicates)
+		reg.SetCounter("pageforge/keys_generated", hw.KeysGenerated)
+		reg.SetCounter("pageforge/lines_fetched", hw.LinesFetched)
+		reg.SetCounter("pageforge/busy_cycles", hw.BusyCycles)
+		reg.SetCounter("pageforge/line_retries", hw.LineRetries)
+		reg.SetCounter("pageforge/retries_healed", hw.RetriesHealed)
+		reg.SetCounter("pageforge/fault_aborts", hw.FaultAborts)
+		reg.SetCounter("pageforge/sw_fallbacks", driver.SWFallbacks)
+		reg.SetCounter("pageforge/quarantine_skips", driver.QuarantineSkips)
+		reg.SetCounter("pageforge/quarantined_frames", uint64(driver.QuarantinedFrames()))
+		reg.SetGauge("pageforge/batch_cycles_mean", hw.BatchCycles.Mean())
+	}
+	if ras != nil {
+		ss := ras.scrub.Stats
+		reg.SetCounter("scrub/lines", ss.Lines)
+		reg.SetCounter("scrub/corrected", ss.Corrected)
+		reg.SetCounter("scrub/uncorrectable", ss.Uncorrectable)
+		reg.SetCounter("scrub/rewrites", ss.Rewrites)
+		reg.SetCounter("scrub/busy_cycles", ss.BusyCycles)
+		reg.SetCounter("scrub/wraps", ss.Wraps)
+		reg.SetGauge("faults/ue_rate", ras.tracker.Rate())
+		reg.SetCounter("faults/tracker_windows", ras.tracker.Windows())
+	}
+}

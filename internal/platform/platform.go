@@ -16,6 +16,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/ksm"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/pageforge"
 	"repro/internal/sim"
 	"repro/internal/tailbench"
@@ -91,6 +92,13 @@ type Config struct {
 	// KSM; zero fields take the faults.DefaultTrip values.
 	DegradeTrip faults.Trip
 
+	// Trace, when non-nil, receives simulation events (batches, merges,
+	// intervals, RAS incidents) for Chrome trace_event export. Tracing is
+	// purely observational: a traced run produces bit-identical Results to
+	// an untraced one. The tracer may be shared by parallel runs; each run
+	// registers its own trace process.
+	Trace *obs.Tracer
+
 	// MeasureL3 sizes the shared cache used during the measurement phase.
 	// The sampled application/kthread streams are ~3 orders of magnitude
 	// thinner than real traffic, so pollution fidelity requires scaling the
@@ -150,8 +158,15 @@ type Result struct {
 	// L3MissRate is the shared-cache local miss rate during measurement.
 	L3MissRate float64
 	// AvgDemandLatency is the mean latency of application cache accesses
-	// (cycles); the ratio against Baseline dilates service times.
+	// (cycles); the ratio against Baseline dilates service times. The
+	// quantiles come from the measurement histogram: tail latency is what
+	// the paper's latency experiments are ultimately about, and the mean
+	// alone hides the miss tail.
 	AvgDemandLatency float64
+	DemandLatP50     float64
+	DemandLatP95     float64
+	DemandLatP99     float64
+	DemandLatMax     float64
 
 	// Figure 11 bandwidths. DemandGBps is the applications' DRAM demand
 	// (profile input, adjusted by the measured miss-rate ratio); DedupGBps
@@ -192,6 +207,11 @@ type Result struct {
 	ScrubLines        uint64
 	ScrubCorrected    uint64
 	ScrubUEs          uint64
+
+	// Metrics is the run's full registry snapshot: every counter, gauge,
+	// and histogram the simulation layers published, for machine-readable
+	// export (-metrics / -json).
+	Metrics *obs.Snapshot
 }
 
 // Run executes one (mode, application) configuration.
@@ -226,6 +246,21 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 
 	res := &Result{Mode: mode, App: app, DegradedAtPass: -1}
 
+	// Observability: one registry per run (single-goroutine handles), and a
+	// trace process on the shared tracer when tracing is on. Both are purely
+	// observational — they never feed back into simulated time.
+	reg := obs.NewRegistry()
+	var sc obs.Scope
+	if cfg.Trace.Enabled() {
+		pid := cfg.Trace.NewProcess(fmt.Sprintf("%s/%s", mode, app.Name))
+		sc = obs.Scope{T: cfg.Trace, PID: pid}
+		cfg.Trace.NameThread(pid, obs.TIDPlatform, "platform")
+		cfg.Trace.NameThread(pid, obs.TIDDriver, "dedup-driver")
+		cfg.Trace.NameThread(pid, obs.TIDEngine, "pfe-engine")
+		cfg.Trace.NameThread(pid, obs.TIDRAS, "ras")
+		cfg.Trace.NameThread(pid, obs.TIDScrub, "scrubber")
+	}
+
 	// RAS: attach the fault model to the controller (every ECC-decoded line
 	// fetch now passes through it) and arm the patrol scrubber and the
 	// degradation tracker. With Faults disabled nothing is created and the
@@ -238,7 +273,7 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		}
 		ras = &rasState{
 			model:   faults.NewModel(fc),
-			scrub:   &memctrl.Scrubber{MC: mc},
+			scrub:   &memctrl.Scrubber{MC: mc, Trace: sc},
 			tracker: faults.NewRateTracker(cfg.DegradeTrip),
 			mc:      mc,
 			budget:  cfg.ScrubLinesPerInterval,
@@ -258,9 +293,13 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	case Baseline:
 	case KSM:
 		scanner = ksm.NewScanner(ksm.NewAlgorithm(img.HV, ksm.JHasher{}), cfg.KSMCosts)
+		scanner.Trace = sc
+		scanner.TraceNow = func() uint64 { return clock }
 	case PageForge:
 		engine := pageforge.NewEngine(pump)
+		engine.Trace = sc
 		driver = pageforge.NewDriver(ksm.NewAlgorithm(img.HV, ksm.NewECCHasher()), engine, cfg.Driver)
+		driver.Trace = sc
 	}
 
 	// --- Phase 1: converge to the merging steady state, churning volatile
@@ -272,7 +311,7 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	pfDriver := driver
 	if mode != Baseline {
 		var passes int
-		passes, res.DedupGBps, scanner, driver = converge(img, scanner, driver, dr, cfg, ras)
+		passes, res.DedupGBps, scanner, driver = converge(img, scanner, driver, dr, cfg, ras, sc, &clock)
 		res.ConvergedPasses = passes
 	}
 	res.Footprint = img.MeasureFootprint()
@@ -280,8 +319,9 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	// --- Phase 2: measurement. Run MeasureIntervals work intervals with
 	// application cache traffic and the dedup engine interleaved, recording
 	// bursts, pollution, and demand latency.
-	meas := newMeasurement(img, hier, dr, mc, cfg, app, &clock)
+	meas := newMeasurement(img, hier, dr, mc, cfg, app, &clock, reg)
 	meas.pump = pump
+	meas.trace = sc
 	if ras != nil {
 		// Patrol scrub keeps running through the measurement phase as
 		// background DRAM traffic; the tracker keeps refining the UE-rate
@@ -347,6 +387,9 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		res.ScrubCorrected = ras.scrub.Stats.Corrected
 		res.ScrubUEs = ras.scrub.Stats.Uncorrectable
 	}
+
+	publishMetrics(reg, mc, dr, hier, scanner, pfDriver, ras)
+	res.Metrics = reg.Snapshot()
 	return res, dr, nil
 }
 
@@ -439,7 +482,7 @@ func memQueueFactor(app tailbench.Profile, r *Result, cfg Config) float64 {
 // the same algorithm state, and the (possibly swapped) engines are
 // returned to the caller.
 func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driver,
-	dr *dram.DRAM, cfg Config, ras *rasState) (int, float64, *ksm.Scanner, *pageforge.Driver) {
+	dr *dram.DRAM, cfg Config, ras *rasState, sc obs.Scope, clk *uint64) (int, float64, *ksm.Scanner, *pageforge.Driver) {
 
 	var alg *ksm.Algorithm
 	if scanner != nil {
@@ -476,12 +519,21 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 				// software path reads through the cache hierarchy, not the
 				// poisoned ECC fetch pipe, so scanning continues.
 				scanner = ksm.NewScanner(driver.Alg, cfg.KSMCosts)
+				scanner.Trace = sc
+				scanner.TraceNow = func() uint64 { return *clk }
 				driver = nil
 				ras.degradedAtPass = p
+				sc.Instant(obs.TIDRAS, "ras", "degrade_trip", now, "pass", uint64(p))
 			}
 		}
 		img.ChurnVolatile()
+		// Expose the pass clock to untimed components (the software
+		// scanner's merge events) regardless of tracing — keeping the
+		// update unconditional is what makes traced and untraced runs
+		// bit-identical. Nothing in the simulation reads it back here.
+		*clk = now
 		frames := img.HV.Phys.AllocatedFrames()
+		sc.Instant(obs.TIDPlatform, "interval", "pass", now, "frames", uint64(frames))
 		if frames == prevFrames && p >= 2 {
 			passes = p + 1
 			break

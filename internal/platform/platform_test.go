@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/faults"
@@ -229,7 +230,7 @@ func TestFaultConfigZeroIsIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *a != *b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
 	}
 	if a.ScrubLines != 0 || a.ECCUncorrectable != 0 || a.Degraded {

@@ -44,6 +44,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/memctrl"
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/pageforge"
 	"repro/internal/placement"
 	"repro/internal/platform"
@@ -345,6 +346,21 @@ func LatencyExperiment(s *Suite) (*experiments.LatencyResult, error) { return ex
 // deduplication phase.
 func Figure11(s *Suite) (*experiments.Fig11Result, error) { return experiments.Figure11(s) }
 
+// DemandLatency reports the demand-access latency distribution (mean, p50,
+// p95, p99, max cycles) for every (application, mode) pair, from the
+// measurement phase's latency histogram.
+func DemandLatency(s *Suite) (*experiments.DemandLatResult, error) {
+	return experiments.DemandLatency(s)
+}
+
+// NewDoc starts a machine-readable (-json) experiment document for the
+// suite; Add experiment results to it and Encode it to a writer.
+func NewDoc(s *Suite) *experiments.Doc { return experiments.NewDoc(s) }
+
+// NewMetricsDoc collects every completed run's full metrics snapshot
+// (counters, gauges, latency histograms) into one encodable document.
+func NewMetricsDoc(s *Suite) *experiments.MetricsDoc { return experiments.NewMetricsDoc(s) }
+
 // Table5 reports PageForge's operation timing and hardware cost.
 func Table5(s *Suite) (*experiments.Table5Result, error) { return experiments.Table5(s) }
 
@@ -367,6 +383,26 @@ func DefaultRASRates() []float64 { return experiments.DefaultRASRates() }
 func Timeline(s *Suite, app Profile, intervals int) (*experiments.TimelineResult, error) {
 	return experiments.Timeline(s, app, intervals)
 }
+
+// --- Observability ----------------------------------------------------------
+
+// Tracer is the bounded ring buffer of simulation events behind
+// Config.Trace; WriteJSON serializes it to Chrome trace_event JSON
+// (loadable in Perfetto or chrome://tracing). A nil Tracer is off.
+type Tracer = obs.Tracer
+
+// MetricsSnapshot is one run's full metric registry state (counters,
+// gauges, latency histograms), carried on Result.Metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// DefaultTraceCapacity is a ring size comfortably holding a full-scale
+// suite run's events.
+const DefaultTraceCapacity = obs.DefaultTraceCapacity
+
+// NewTracer builds a tracer with the given event capacity (the ring keeps
+// the newest events and counts drops). One tracer may serve many parallel
+// runs; each run appears as its own trace process.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
 // --- Hardware cost model ------------------------------------------------------
 
