@@ -3,8 +3,8 @@
 // Usage:
 //
 //	pageforge list
-//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras]
-//	              [-apps img_dnn,silo,...] [-fast] [-seed N] [-fault-rate r1,r2,...]
+//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify]
+//	              [-apps img_dnn,silo,...] [-fast] [-seed N] [-fault-rate r1,r2,...] [-verify-n N]
 //	              [-json] [-trace file] [-metrics file]
 //	              [-cpuprofile file] [-memprofile file] [-pprof addr]
 //	pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
@@ -60,7 +60,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pageforge list
-  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...]
+  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N]
                 [-json] [-trace file] [-metrics file] [-cpuprofile file] [-memprofile file] [-pprof addr]
   pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
   pageforge sweep [-app name] [-pages N] [-seconds S]`)
@@ -124,6 +124,7 @@ func list() {
 		{"satori", "Extension: short-lived sharing capture vs scan aggressiveness (Satori, §7.2)"},
 		{"timeline", "Extension: savings convergence ramp, KSM vs PageForge"},
 		{"ras", "Extension: DRAM fault rate vs merge coverage, scrub/retry overhead, degradation"},
+		{"verify", "Model-based verification: randomized scenarios, invariant checker, KSM≡PageForge differential"},
 	} {
 		fmt.Printf("  %-7s %s\n", e[0], e[1])
 	}
@@ -146,6 +147,7 @@ func run(args []string) {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs (results are bit-identical at any setting)")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
 	faultRates := fs.String("fault-rate", "", "comma-separated UE-per-read rates for the ras experiment (default sweep when empty)")
+	verifyN := fs.Int("verify-n", experiments.DefaultVerifyScenarios, "randomized scenario count for the verify experiment")
 	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON document on stdout instead of text tables")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file of the simulation runs (Perfetto-loadable)")
 	metricsFile := fs.String("metrics", "", "write every run's full metrics snapshot (counters, gauges, histograms) as JSON")
@@ -344,6 +346,13 @@ func run(args []string) {
 			fail(err)
 		} else {
 			emit("ras", r)
+		}
+	}
+	if want("verify") {
+		if r, err := pageforgesim.VerifyExperiment(suite, *verifyN); err != nil {
+			fail(err)
+		} else {
+			emit("verify", r)
 		}
 	}
 	if progress != nil && len(modeSet) > 0 {

@@ -1,0 +1,9 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/extest"
+)
+
+func TestConsolidationRuns(t *testing.T) { extest.Smoke(t, "estimated sharing,") }

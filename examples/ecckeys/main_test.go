@@ -1,0 +1,9 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/extest"
+)
+
+func TestEcckeysRuns(t *testing.T) { extest.Smoke(t, "SECDED(72,64):") }

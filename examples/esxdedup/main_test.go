@@ -1,0 +1,9 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/extest"
+)
+
+func TestEsxdedupRuns(t *testing.T) { extest.Smoke(t, "ESX-style hash-indexed merging") }

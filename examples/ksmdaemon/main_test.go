@@ -1,0 +1,9 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/extest"
+)
+
+func TestKsmdaemonRuns(t *testing.T) { extest.Smoke(t, "deployment:") }

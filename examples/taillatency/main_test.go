@@ -1,0 +1,9 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/extest"
+)
+
+func TestTaillatencyRuns(t *testing.T) { extest.Smoke(t, "silo: 10 VMs") }

@@ -1,0 +1,45 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffMergeSets compares the clean merge sets observed under two engine
+// modes and returns a descriptive error when they differ. Both inputs are
+// canonical group renderings from Checker.MergeGroups. On fault-free
+// converged runs the software and hardware engines must agree exactly:
+// clean-page contents are mode-independent and both engines are required
+// to fold every duplicate group completely.
+func DiffMergeSets(ksmGroups, pfGroups []string) error {
+	k := map[string]bool{}
+	for _, g := range ksmGroups {
+		k[g] = true
+	}
+	p := map[string]bool{}
+	for _, g := range pfGroups {
+		p[g] = true
+	}
+	var onlyK, onlyP []string
+	for _, g := range ksmGroups {
+		if !p[g] {
+			onlyK = append(onlyK, g)
+		}
+	}
+	for _, g := range pfGroups {
+		if !k[g] {
+			onlyP = append(onlyP, g)
+		}
+	}
+	if len(onlyK) == 0 && len(onlyP) == 0 {
+		return nil
+	}
+	clip := func(gs []string) string {
+		if len(gs) > 3 {
+			gs = append(append([]string{}, gs[:3]...), fmt.Sprintf("… %d more", len(gs)-3))
+		}
+		return strings.Join(gs, "; ")
+	}
+	return fmt.Errorf("check: differential: merge sets diverge: %d group(s) only under KSM [%s], %d only under PageForge [%s]",
+		len(onlyK), clip(onlyK), len(onlyP), clip(onlyP))
+}

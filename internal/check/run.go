@@ -1,0 +1,77 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Options tunes a verification run.
+type Options struct {
+	// Tamper is forwarded to both checkers (test fault injection).
+	Tamper func(p platform.VerifyPoint)
+}
+
+// Report summarizes one verified scenario.
+type Report struct {
+	Scenario  workload.Scenario
+	KSM       Counters
+	PageForge Counters
+	// FaultFree records whether the scenario injected no faults; the
+	// differential and completeness checks only apply then.
+	FaultFree bool
+	// DiffChecked reports whether the KSM ≡ PageForge merge-set
+	// equivalence was evaluated; Groups is the shared group count.
+	DiffChecked bool
+	Groups      int
+}
+
+// RunScenario runs one scenario through both dedup engines with full
+// invariant checking and, on fault-free converged runs, the differential
+// merge-set equivalence. A nil error means every check passed.
+func RunScenario(sc workload.Scenario) (*Report, error) {
+	return RunScenarioOpts(sc, Options{})
+}
+
+// RunScenarioOpts is RunScenario with test hooks.
+func RunScenarioOpts(sc workload.Scenario, opt Options) (*Report, error) {
+	// The hash gate defers first-sighting pages to the next pass, so full
+	// convergence of clean duplicates needs at least two passes.
+	converged := sc.FaultFree() && sc.ConvergePasses >= 2
+
+	runMode := func(mode platform.Mode) (*Checker, error) {
+		ck := &Checker{Tamper: opt.Tamper}
+		cfg := sc.Config()
+		cfg.Verifier = ck
+		if _, err := platform.Run(mode, sc.Profile(), cfg); err != nil {
+			return ck, err
+		}
+		if err := ck.Final(converged); err != nil {
+			return ck, err
+		}
+		return ck, nil
+	}
+
+	rep := &Report{Scenario: sc, FaultFree: sc.FaultFree()}
+	kc, err := runMode(platform.KSM)
+	rep.KSM = kc.Counters
+	if err != nil {
+		return rep, err
+	}
+	pc, err := runMode(platform.PageForge)
+	rep.PageForge = pc.Counters
+	if err != nil {
+		return rep, err
+	}
+
+	if converged {
+		gk, gp := kc.MergeGroups(), pc.MergeGroups()
+		if err := DiffMergeSets(gk, gp); err != nil {
+			return rep, fmt.Errorf("%w (scenario %s)", err, sc)
+		}
+		rep.DiffChecked = true
+		rep.Groups = len(gk)
+	}
+	return rep, nil
+}

@@ -1,0 +1,36 @@
+// Package extest is the shared harness for the examples' smoke tests: it
+// compiles and runs the example in the test's working directory and checks
+// it exits cleanly with the expected output header. Keeping the logic here
+// lets each examples/<name> package carry a one-line test.
+package extest
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Timeout bounds one example run; the examples are demos and finish in
+// seconds, so a hang is a bug, not load.
+const Timeout = 3 * time.Minute
+
+// Smoke runs `go run .` in the current (example) directory and asserts a
+// zero exit status and that stdout contains the given header line.
+func Smoke(t *testing.T, wantHeader string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), Timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", "run", ".")
+	out, err := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("example did not finish within %v\noutput:\n%s", Timeout, out)
+	}
+	if err != nil {
+		t.Fatalf("example exited with error: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), wantHeader) {
+		t.Fatalf("output missing header %q:\n%s", wantHeader, out)
+	}
+}

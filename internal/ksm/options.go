@@ -86,6 +86,16 @@ func (a *Algorithm) TryMergeZero(id vm.PageID) (bool, int) {
 // use. The PageForge driver compares candidates against it in hardware.
 func (a *Algorithm) ZeroFramePFN() (mem.PFN, error) { return a.zeroFrame() }
 
+// ZeroPFN reports the dedicated zero frame if one has been allocated,
+// without allocating it. Verification tooling uses it to account for the
+// permanent reference the algorithm holds on that frame.
+func (a *Algorithm) ZeroPFN() (mem.PFN, bool) {
+	if a.zeroPFN == nil {
+		return 0, false
+	}
+	return *a.zeroPFN, true
+}
+
 // MergeWithZeroFrame merges a candidate whose contents were verified (by
 // hardware or software) to be zero into the dedicated zero frame.
 func (a *Algorithm) MergeWithZeroFrame(id vm.PageID) bool {

@@ -205,6 +205,22 @@ func (p *Phys) ComparePage(a, b PFN) (int, int) {
 	return 0, PageSize
 }
 
+// ContentKey is a 64-bit FNV-1a digest of the frame's full contents, used
+// by verification tooling to group frames by content cheaply. Equal pages
+// have equal keys; distinct keys imply distinct contents (collisions are
+// possible in principle but negligible at simulated scales).
+func (p *Phys) ContentKey(pfn PFN) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range p.frame(pfn).data {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}
+
 // IsZero reports whether the frame is all zeroes.
 func (p *Phys) IsZero(pfn PFN) bool {
 	for _, b := range p.frame(pfn).data {

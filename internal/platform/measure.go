@@ -63,6 +63,10 @@ type measurement struct {
 	// onInterval, when set, runs at each work-interval boundary (RAS: the
 	// patrol-scrub slice and UE-rate tracker observation).
 	onInterval func(start uint64)
+
+	// verify, when set, runs after each completed interval (post-churn); a
+	// non-nil error aborts the measurement.
+	verify func(k int) error
 }
 
 // pumpFetcher wraps the memory controller's fetch service: before each
@@ -152,7 +156,7 @@ func (m *measurement) appAccessesPerInterval() int {
 
 // run executes warm-up plus MeasureIntervals work intervals. Exactly one of
 // scanner/driver is non-nil for the dedup configurations.
-func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) {
+func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error {
 	interval := m.cfg.IntervalCycles()
 	base := uint64(1) << 44 // clock base, clear of convergence timestamps
 	*m.clock = base
@@ -261,8 +265,14 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) {
 			m.img.ChurnVolatile()
 			pagesSinceChurn = 0
 		}
+		if m.verify != nil {
+			if err := m.verify(k); err != nil {
+				return err
+			}
+		}
 	}
 	*m.clock = base + uint64(warmupIntervals+m.cfg.MeasureIntervals)*interval
+	return nil
 }
 
 func algOf(s *ksm.Scanner, d *pageforge.Driver) *ksm.Algorithm {

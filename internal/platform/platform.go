@@ -99,6 +99,13 @@ type Config struct {
 	// registers its own trace process.
 	Trace *obs.Tracer
 
+	// Verifier, when non-nil, receives model-based checking callbacks: once
+	// at image build (BeginRun) and at every convergence pass and
+	// measurement interval (Interval). A failed check aborts the run.
+	// Verification is purely observational — a verified run produces
+	// bit-identical Results to an unverified one.
+	Verifier Verifier
+
 	// MeasureL3 sizes the shared cache used during the measurement phase.
 	// The sampled application/kthread streams are ~3 orders of magnitude
 	// thinner than real traffic, so pollution fidelity requires scaling the
@@ -227,6 +234,23 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	if err != nil {
 		return nil, nil, fmt.Errorf("platform: building image: %w", err)
 	}
+	if cfg.Verifier != nil {
+		cfg.Verifier.BeginRun(mode, img)
+	}
+
+	// verify delivers one observation point to the configured verifier; the
+	// engine arguments are whatever is live at the call (degradation swaps
+	// the driver out for a software scanner mid-run).
+	verify := func(phase string, idx int, s *ksm.Scanner, d *pageforge.Driver) error {
+		if cfg.Verifier == nil {
+			return nil
+		}
+		p := VerifyPoint{Mode: mode, Phase: phase, Index: idx, HV: img.HV, Alg: algOf(s, d)}
+		if d != nil {
+			p.Quarantined = d.Quarantined
+		}
+		return cfg.Verifier.Interval(p)
+	}
 
 	hierCfg := cfg.Hier
 	hierCfg.Cores = cfg.Cores
@@ -311,7 +335,10 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	pfDriver := driver
 	if mode != Baseline {
 		var passes int
-		passes, res.DedupGBps, scanner, driver = converge(img, scanner, driver, dr, cfg, ras, sc, &clock)
+		passes, res.DedupGBps, scanner, driver, err = converge(img, scanner, driver, dr, cfg, ras, sc, &clock, verify)
+		if err != nil {
+			return nil, nil, err
+		}
 		res.ConvergedPasses = passes
 	}
 	res.Footprint = img.MeasureFootprint()
@@ -334,7 +361,10 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	} else {
 		dedupBytesBefore = dr.TotalBytes(dram.SrcPageForge)
 	}
-	meas.run(scanner, driver)
+	meas.verify = func(k int) error { return verify("measure", k, scanner, driver) }
+	if err := meas.run(scanner, driver); err != nil {
+		return nil, nil, err
+	}
 	meas.fill(res)
 
 	// Steady-state dedup bandwidth over the whole measurement phase
@@ -482,7 +512,8 @@ func memQueueFactor(app tailbench.Profile, r *Result, cfg Config) float64 {
 // the same algorithm state, and the (possibly swapped) engines are
 // returned to the caller.
 func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driver,
-	dr *dram.DRAM, cfg Config, ras *rasState, sc obs.Scope, clk *uint64) (int, float64, *ksm.Scanner, *pageforge.Driver) {
+	dr *dram.DRAM, cfg Config, ras *rasState, sc obs.Scope, clk *uint64,
+	verify func(string, int, *ksm.Scanner, *pageforge.Driver) error) (int, float64, *ksm.Scanner, *pageforge.Driver, error) {
 
 	var alg *ksm.Algorithm
 	if scanner != nil {
@@ -532,6 +563,9 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		// update unconditional is what makes traced and untraced runs
 		// bit-identical. Nothing in the simulation reads it back here.
 		*clk = now
+		if err := verify("converge", p, scanner, driver); err != nil {
+			return p + 1, 0, scanner, driver, err
+		}
 		frames := img.HV.Phys.AllocatedFrames()
 		sc.Instant(obs.TIDPlatform, "interval", "pass", now, "frames", uint64(frames))
 		if frames == prevFrames && p >= 2 {
@@ -553,7 +587,7 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		seconds := intervals * cfg.SleepMillis / 1e3
 		gbps = float64(bytes) / 1e9 / seconds * fullScaleDepthFactor
 	}
-	return passes, gbps, scanner, driver
+	return passes, gbps, scanner, driver, nil
 }
 
 // RunDebug is Run plus the DRAM statistics snapshot (calibration tooling).

@@ -1,0 +1,41 @@
+package platform
+
+import (
+	"repro/internal/ksm"
+	"repro/internal/mem"
+	"repro/internal/tailbench"
+	"repro/internal/vm"
+)
+
+// Verifier observes a platform run for model-based checking (internal/check
+// implements it). BeginRun fires once after the image is built, before any
+// scanning; Interval fires at every consistent observation point — after
+// each convergence pass (post-churn) and after each measurement work
+// interval. A non-nil error aborts the run and is returned by Run.
+//
+// Verifiers must be purely observational: they may read hypervisor,
+// physical-memory, and algorithm state but never mutate it, so a verified
+// run stays bit-identical to an unverified one.
+type Verifier interface {
+	BeginRun(mode Mode, img *tailbench.Image)
+	Interval(p VerifyPoint) error
+}
+
+// VerifyPoint is one consistent observation point handed to the Verifier:
+// no scan, merge, or churn is in flight when it is delivered.
+type VerifyPoint struct {
+	Mode Mode
+	// Phase is "converge" (Index = pass) or "measure" (Index = interval,
+	// warm-up intervals included).
+	Phase string
+	Index int
+
+	HV *vm.Hypervisor
+	// Alg is the engine-independent KSM state (nil for Baseline).
+	Alg *ksm.Algorithm
+	// Quarantined reports frames the UE policy withdrew from hardware
+	// merging. It is nil whenever the PageForge driver is not the live
+	// engine (Baseline, software KSM, or after degradation demoted the
+	// hardware) — quarantine exclusion is then not in force.
+	Quarantined func(mem.PFN) bool
+}

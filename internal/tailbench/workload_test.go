@@ -1,0 +1,149 @@
+package tailbench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// queueProfile is a minimal profile for queueing-model tests: only QPS,
+// MeanServiceCycles, and ServiceCV matter to SimulateQueueing.
+func queueProfile(qps, serviceCycles, cv float64) Profile {
+	return Profile{Name: "qtest", QPS: qps, MeanServiceCycles: serviceCycles, ServiceCV: cv}
+}
+
+func TestUtilizationTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		qps     float64
+		service float64
+		want    float64
+	}{
+		{"half-loaded", 1000, 1e6, 0.5},
+		{"light", 100, 1e6, 0.05},
+		{"near-saturation", 1900, 1e6, 0.95},
+		{"slow-service", 500, 3e6, 0.75},
+	} {
+		p := queueProfile(tc.qps, tc.service, 0.5)
+		if got := p.Utilization(); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: utilization %.4f, want %.4f", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestLatencyMonotonicInLoad drives the open-loop simulation at increasing
+// arrival rates with everything else fixed: mean sojourn latency must rise
+// with load, and every point must sit at or above the no-queueing floor
+// (the mean service time).
+func TestLatencyMonotonicInLoad(t *testing.T) {
+	const service = 1e6
+	horizon := uint64(20 * sim.CyclesPerSecond)
+	var prev float64
+	for i, qps := range []float64{200, 800, 1400, 1800} {
+		p := queueProfile(qps, service, 0.8)
+		r := SimulateQueueing(p, 4, 1.0, NoBursts(), horizon, 7)
+		if r.Queries == 0 {
+			t.Fatalf("qps %.0f: no queries measured", qps)
+		}
+		if r.Mean < service*0.9 {
+			t.Fatalf("qps %.0f: mean sojourn %.0f below the service floor %.0f", qps, r.Mean, service)
+		}
+		if r.P95 < r.Mean {
+			t.Fatalf("qps %.0f: p95 %.0f below mean %.0f", qps, r.P95, r.Mean)
+		}
+		if i > 0 && r.Mean <= prev {
+			t.Fatalf("qps %.0f: mean sojourn %.0f not above previous load's %.0f", qps, r.Mean, prev)
+		}
+		prev = r.Mean
+	}
+}
+
+// TestLatencyMonotonicInDilation checks the other load axis: dilating
+// service times (cache pollution) must raise sojourn latency.
+func TestLatencyMonotonicInDilation(t *testing.T) {
+	p := queueProfile(1000, 1e6, 0.8)
+	horizon := uint64(10 * sim.CyclesPerSecond)
+	base := SimulateQueueing(p, 4, 1.0, NoBursts(), horizon, 7)
+	dilated := SimulateQueueing(p, 4, 1.3, NoBursts(), horizon, 7)
+	if dilated.Mean <= base.Mean {
+		t.Fatalf("dilation 1.3 did not raise mean sojourn: %.0f vs %.0f", dilated.Mean, base.Mean)
+	}
+}
+
+// TestEmptyQueueEdgeCases: at negligible load the queue never forms, so
+// sojourn ≈ service time; and a disabled burst schedule steals nothing.
+func TestEmptyQueueEdgeCases(t *testing.T) {
+	const service = 1e6
+	// Deterministic service (CV 0) and ~2 arrivals per second of horizon:
+	// queueing probability is negligible.
+	p := queueProfile(2, service, 0)
+	r := SimulateQueueing(p, 2, 1.0, NoBursts(), uint64(30*sim.CyclesPerSecond), 3)
+	if r.Queries == 0 {
+		t.Fatal("no queries at tiny load")
+	}
+	if math.Abs(r.Mean-service) > service*0.02 {
+		t.Fatalf("idle-system sojourn %.0f should be ~service %.0f", r.Mean, service)
+	}
+	if math.Abs(r.P95-service) > service*0.02 {
+		t.Fatalf("idle-system p95 %.0f should be ~service %.0f", r.P95, service)
+	}
+
+	nb := NoBursts()
+	if got := nb.Bursts(0, sim.NewRNG(1)); len(got) != 0 {
+		t.Fatalf("NoBursts produced %d bursts", len(got))
+	}
+	if got := nb.CoreShare(0); got != 0 {
+		t.Fatalf("NoBursts CoreShare %f, want 0", got)
+	}
+}
+
+func TestBurstsRaiseLatencyAndCoreShareSums(t *testing.T) {
+	p := queueProfile(1200, 1e6, 0.8)
+	horizon := uint64(10 * sim.CyclesPerSecond)
+	sched := &BurstSchedule{
+		IntervalCycles: 10_000_000, // 5ms
+		MeanCycles:     2_000_000,  // 20% of the interval
+		StdCycles:      500_000,
+		ZipfS:          1.2,
+		Cores:          4,
+		Share:          0.5,
+	}
+	base := SimulateQueueing(p, 4, 1.0, NoBursts(), horizon, 11)
+	loaded := SimulateQueueing(p, 4, 1.0, sched, horizon, 11)
+	if loaded.Mean <= base.Mean {
+		t.Fatalf("kthread bursts did not raise mean sojourn: %.0f vs %.0f", loaded.Mean, base.Mean)
+	}
+
+	// CoreShare across cores must sum to the schedule's duty cycle, with
+	// the Zipf skew concentrating it on core 0.
+	total := 0.0
+	for c := 0; c < sched.Cores; c++ {
+		total += sched.CoreShare(c)
+	}
+	want := sched.MeanCycles / float64(sched.IntervalCycles)
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("CoreShare sum %.4f, want duty cycle %.4f", total, want)
+	}
+	if sched.CoreShare(0) <= sched.CoreShare(sched.Cores-1) {
+		t.Fatal("Zipf skew missing: first core should absorb the largest share")
+	}
+}
+
+func TestMeasureCyclesForBounds(t *testing.T) {
+	// Fast app: floor at one simulated second.
+	if got := MeasureCyclesFor(queueProfile(10_000, 1e5, 0.5), 100); got != uint64(sim.CyclesPerSecond) {
+		t.Fatalf("floor not applied: %d", got)
+	}
+	// Slow app with a huge query demand: capped at 120 seconds.
+	if got := MeasureCyclesFor(queueProfile(1, 1e6, 0.5), 1_000_000); got != uint64(120*sim.CyclesPerSecond) {
+		t.Fatalf("cap not applied: %d", got)
+	}
+	// In between: horizon covers minQueries at the arrival rate.
+	p := queueProfile(100, 1e6, 0.5)
+	got := MeasureCyclesFor(p, 1000)
+	want := uint64(1000 / p.QPS * float64(sim.CyclesPerSecond))
+	if got != want {
+		t.Fatalf("horizon %d, want %d", got, want)
+	}
+}

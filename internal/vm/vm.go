@@ -65,6 +65,12 @@ type Hypervisor struct {
 	// merged frames.
 	Merges   uint64
 	Unmerges uint64
+
+	// OnWrite, when non-nil, observes every guest write after it has landed
+	// (including any CoW break it triggered). Verification tooling uses it
+	// to maintain a shadow copy of page contents; it must not mutate
+	// simulation state.
+	OnWrite func(id PageID, off int, data []byte)
 }
 
 // NewHypervisor creates a hypervisor with the given physical capacity.
@@ -186,6 +192,9 @@ func (v *VM) Write(g GFN, off int, src []byte) (cowBroke bool, err error) {
 		cowBroke = true
 	}
 	copy(v.hv.Phys.Page(e.pfn)[off:], src)
+	if v.hv.OnWrite != nil {
+		v.hv.OnWrite(PageID{v.ID, g}, off, src)
+	}
 	return cowBroke, nil
 }
 

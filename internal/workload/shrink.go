@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shrink greedily minimizes a failing scenario: starting from sc (which
+// must satisfy fails), it repeatedly tries simplifying moves — zeroing the
+// fault rate and churn, shrinking the deployment, cutting passes and
+// intervals — and keeps any move that still fails. It stops when a full
+// round of moves yields no progress or the probe budget runs out, and
+// returns the smallest failing scenario found plus the number of probes
+// spent. fails must be deterministic in the scenario (re-running the same
+// scenario must reproduce the verdict), which holds for seeded runs.
+func Shrink(sc Scenario, fails func(Scenario) bool, maxProbes int) (Scenario, int) {
+	probes := 0
+	try := func(cand Scenario) bool {
+		if probes >= maxProbes || cand == sc {
+			return false
+		}
+		probes++
+		if fails(cand) {
+			sc = cand
+			return true
+		}
+		return false
+	}
+
+	for progress := true; progress && probes < maxProbes; {
+		progress = false
+
+		// Remove whole mechanisms first — a repro without faults or churn
+		// is categorically simpler than any size reduction.
+		for _, move := range []func(*Scenario){
+			func(c *Scenario) { c.FaultRate = 0 },
+			func(c *Scenario) { c.VolatileFrac = 0 },
+			func(c *Scenario) { c.ZeroFrac = 0 },
+			func(c *Scenario) { c.MeasureIntervals = 0 },
+		} {
+			cand := sc
+			move(&cand)
+			if try(cand) {
+				progress = true
+			}
+		}
+
+		// Then shrink sizes toward small floors, halving each step.
+		for _, m := range []struct {
+			get   func(Scenario) int
+			set   func(*Scenario, int)
+			floor int
+		}{
+			{func(c Scenario) int { return c.MeasureIntervals }, func(c *Scenario, v int) { c.MeasureIntervals = v }, 1},
+			{func(c Scenario) int { return c.ConvergePasses }, func(c *Scenario, v int) { c.ConvergePasses = v }, 2},
+			{func(c Scenario) int { return c.VMs }, func(c *Scenario, v int) { c.VMs = v }, 2},
+			{func(c Scenario) int { return c.PagesPerVM }, func(c *Scenario, v int) { c.PagesPerVM = v }, 16},
+			{func(c Scenario) int { return int(c.DupCopies) }, func(c *Scenario, v int) { c.DupCopies = float64(v) }, 2},
+			{func(c Scenario) int { return c.PagesToScan }, func(c *Scenario, v int) { c.PagesToScan = v }, 50},
+		} {
+			// Binary descent: probe ever-smaller decrements so the result
+			// lands on the minimal failing value, not just a power-of-two
+			// fraction of the original.
+			for delta := (m.get(sc) - m.floor + 1) / 2; delta >= 1; {
+				cur := m.get(sc)
+				if cur <= m.floor {
+					break
+				}
+				next := cur - delta
+				if next < m.floor {
+					next = m.floor
+				}
+				cand := sc
+				m.set(&cand, next)
+				if try(cand) {
+					progress = true
+					delta = (m.get(sc) - m.floor + 1) / 2
+				} else {
+					delta /= 2
+				}
+			}
+		}
+
+		// Finally thin the duplicated region (fewer merge candidates).
+		if sc.DupFrac > 0.05 {
+			cand := sc
+			cand.DupFrac = sc.DupFrac / 2
+			if cand.DupFrac < 0.05 {
+				cand.DupFrac = 0.05
+			}
+			if try(cand) {
+				progress = true
+			}
+		}
+	}
+	return sc, probes
+}
+
+// ReproTest renders a failing scenario as a ready-to-paste Go test that
+// re-runs it through the checker. failure is the invariant error the
+// scenario produced, embedded as a comment so the test documents what it
+// reproduces.
+func ReproTest(sc Scenario, failure error) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Reproduces: %s\n", failure)
+	fmt.Fprintf(&b, "func TestRepro_%X(t *testing.T) {\n", sc.Seed)
+	fmt.Fprintf(&b, "\tsc := %#v\n", sc)
+	fmt.Fprintf(&b, "\tif _, err := check.RunScenario(sc); err != nil {\n")
+	fmt.Fprintf(&b, "\t\tt.Fatal(err)\n")
+	fmt.Fprintf(&b, "\t}\n}\n")
+	return b.String()
+}

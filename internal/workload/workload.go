@@ -1,0 +1,132 @@
+// Package workload generates randomized, fully deterministic merge
+// scenarios for model-based verification: a Scenario is a compact value
+// (seed + deployment shape + engine tunables + fault rate) that maps to one
+// platform run. Equal Scenarios produce bit-identical runs, which is what
+// makes a failing scenario reproducible and shrinkable.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tailbench"
+)
+
+// Scenario is one randomized verification case. All fields are plain data
+// so a scenario can be printed with %#v into a ready-to-paste repro test.
+type Scenario struct {
+	// Seed drives image contents, churn, measurement sampling, and the
+	// fault schedule.
+	Seed uint64
+
+	// Deployment shape.
+	VMs        int
+	PagesPerVM int
+
+	// Page-content composition (see tailbench.BuildImage).
+	DupFrac      float64
+	ZeroFrac     float64
+	DupCopies    float64
+	VolatileFrac float64
+
+	// Engine tunables.
+	ConvergePasses   int
+	MeasureIntervals int
+	PagesToScan      int
+
+	// FaultRate is the uncorrectable-upset probability per line read
+	// (0 = fault-free; also scales correctable transients and stuck words,
+	// mirroring the RAS experiment's population).
+	FaultRate float64
+}
+
+// Generate draws a random scenario from the given seed. The distribution
+// deliberately over-weights stressful corners: high duplication (deep
+// trees, many merges), nonzero churn (CoW breaks between passes), and a
+// fat-tailed fault rate.
+func Generate(seed uint64) Scenario {
+	rng := sim.NewRNG(seed ^ 0x5EEDF00D)
+	sc := Scenario{
+		Seed:       seed,
+		VMs:        2 + rng.Intn(5),   // 2..6
+		PagesPerVM: 40 + rng.Intn(161), // 40..200
+		DupFrac:    0.2 + 0.5*rng.Float64(),
+		ZeroFrac:   0.25 * rng.Float64(),
+		DupCopies:  float64(2 + rng.Intn(5)), // 2..6
+
+		ConvergePasses:   3 + rng.Intn(6), // 3..8
+		MeasureIntervals: 1 + rng.Intn(4), // 1..4
+		PagesToScan:      100 + rng.Intn(301),
+	}
+	if rng.Bool(0.4) {
+		sc.VolatileFrac = 0.3 * rng.Float64()
+	}
+	if rng.Bool(0.5) {
+		// Log-uniform over [1e-4, 1e-1]: most draws are rare-fault regimes,
+		// a few are storms.
+		sc.FaultRate = math.Pow(10, -4+3*rng.Float64())
+	}
+	return sc
+}
+
+// FaultFree reports whether the scenario injects no DRAM faults, which is
+// the precondition for the differential KSM ≡ PageForge equivalence check.
+func (s Scenario) FaultFree() bool { return s.FaultRate == 0 }
+
+// Profile renders the scenario as a small TailBench-style application. The
+// service-model numbers are fixed: verification exercises merge semantics,
+// not the latency model.
+func (s Scenario) Profile() tailbench.Profile {
+	return tailbench.Profile{
+		Name:              fmt.Sprintf("verify-%x", s.Seed),
+		QPS:               500,
+		MeanServiceCycles: 1e6,
+		ServiceCV:         0.8,
+		MemStallFrac:      0.4,
+		LinesPerQuery:     120,
+		BaselineL3Miss:    0.3,
+		DemandGBps:        2,
+		ZeroFrac:          s.ZeroFrac,
+		DupFrac:           s.DupFrac,
+		DupCopies:         s.DupCopies,
+		PagesPerVM:        s.PagesPerVM,
+		VolatileFrac:      s.VolatileFrac,
+	}
+}
+
+// Config renders the scenario as a platform configuration. The machine
+// parameters stay at their defaults; only the scenario's shape, engine
+// tunables, seed, and fault population are overridden.
+func (s Scenario) Config() platform.Config {
+	cfg := platform.DefaultConfig()
+	cfg.VMs = s.VMs
+	cfg.Cores = s.VMs
+	cfg.ConvergePasses = s.ConvergePasses
+	cfg.MeasureIntervals = s.MeasureIntervals
+	cfg.PagesToScan = s.PagesToScan
+	cfg.Seed = s.Seed
+	if s.FaultRate > 0 {
+		// Same population shape as the RAS experiment: correctable
+		// transients an order of magnitude denser than UEs, plus a few
+		// permanently-stuck words at high rates.
+		frames := s.VMs*s.PagesPerVM*2 + 1024
+		cfg.Faults = faults.Config{
+			Seed:             s.Seed ^ 0x4A5C4A5,
+			TransientPerRead: math.Min(1, 10*s.FaultRate),
+			DoubleBitPerRead: s.FaultRate,
+			StuckUEWords:     int(s.FaultRate * 400),
+			Frames:           frames,
+		}
+	}
+	return cfg
+}
+
+// String renders the scenario compactly for progress and failure reports.
+func (s Scenario) String() string {
+	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d fault=%.2g",
+		s.Seed, s.VMs, s.PagesPerVM, s.DupFrac, s.DupCopies, s.ZeroFrac,
+		s.VolatileFrac, s.ConvergePasses, s.MeasureIntervals, s.PagesToScan, s.FaultRate)
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministicAndInRange(t *testing.T) {
+	for seed := uint64(0); seed < 500; seed++ {
+		sc := Generate(seed)
+		if sc != Generate(seed) {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+		if sc.VMs < 2 || sc.VMs > 6 {
+			t.Fatalf("seed %d: VMs %d out of range", seed, sc.VMs)
+		}
+		if sc.PagesPerVM < 40 || sc.PagesPerVM > 200 {
+			t.Fatalf("seed %d: PagesPerVM %d out of range", seed, sc.PagesPerVM)
+		}
+		if sc.DupFrac < 0.2 || sc.DupFrac > 0.7 {
+			t.Fatalf("seed %d: DupFrac %f out of range", seed, sc.DupFrac)
+		}
+		if sc.DupFrac+sc.ZeroFrac >= 1 {
+			t.Fatalf("seed %d: composition exceeds the image", seed)
+		}
+		if sc.ConvergePasses < 3 || sc.MeasureIntervals < 1 || sc.PagesToScan < 100 {
+			t.Fatalf("seed %d: engine tunables out of range: %+v", seed, sc)
+		}
+		if sc.FaultRate != 0 && (sc.FaultRate < 1e-4 || sc.FaultRate > 0.1) {
+			t.Fatalf("seed %d: FaultRate %g out of range", seed, sc.FaultRate)
+		}
+		if sc.FaultFree() != (sc.FaultRate == 0) {
+			t.Fatalf("seed %d: FaultFree inconsistent", seed)
+		}
+	}
+}
+
+func TestGenerateCoversRegimes(t *testing.T) {
+	var faulted, churning int
+	for seed := uint64(0); seed < 200; seed++ {
+		sc := Generate(seed)
+		if !sc.FaultFree() {
+			faulted++
+		}
+		if sc.VolatileFrac > 0 {
+			churning++
+		}
+	}
+	if faulted < 50 || faulted > 150 {
+		t.Fatalf("fault regime coverage skewed: %d/200 faulted", faulted)
+	}
+	if churning < 40 || churning > 140 {
+		t.Fatalf("churn regime coverage skewed: %d/200 churning", churning)
+	}
+}
+
+func TestScenarioConfigMapsFields(t *testing.T) {
+	sc := Generate(3)
+	sc.FaultRate = 0.01
+	cfg := sc.Config()
+	if cfg.VMs != sc.VMs || cfg.Cores != sc.VMs || cfg.Seed != sc.Seed {
+		t.Fatalf("deployment shape not mapped: %+v", cfg)
+	}
+	if cfg.ConvergePasses != sc.ConvergePasses || cfg.MeasureIntervals != sc.MeasureIntervals || cfg.PagesToScan != sc.PagesToScan {
+		t.Fatalf("engine tunables not mapped: %+v", cfg)
+	}
+	if !cfg.Faults.Enabled() {
+		t.Fatal("nonzero FaultRate must arm fault injection")
+	}
+	sc.FaultRate = 0
+	if sc.Config().Faults.Enabled() {
+		t.Fatal("fault-free scenario must leave injection disarmed")
+	}
+	p := sc.Profile()
+	if p.PagesPerVM != sc.PagesPerVM || p.DupFrac != sc.DupFrac || p.ZeroFrac != sc.ZeroFrac {
+		t.Fatalf("profile composition not mapped: %+v", p)
+	}
+}
+
+// TestShrinkMinimizesSyntheticFailure drives the shrinker with a synthetic
+// predicate ("fails whenever VMs ≥ 2 and PagesPerVM ≥ 20") and checks it
+// reaches the predicate's floor rather than stopping early.
+func TestShrinkMinimizesSyntheticFailure(t *testing.T) {
+	sc := Generate(11)
+	sc.FaultRate = 0.05
+	fails := func(s Scenario) bool { return s.VMs >= 2 && s.PagesPerVM >= 20 }
+	if !fails(sc) {
+		t.Fatal("starting scenario must fail")
+	}
+	shrunk, probes := Shrink(sc, fails, 200)
+	if !fails(shrunk) {
+		t.Fatal("shrinker returned a passing scenario")
+	}
+	if shrunk.VMs != 2 {
+		t.Fatalf("VMs not minimized: %d (%d probes)", shrunk.VMs, probes)
+	}
+	if shrunk.PagesPerVM > 20 {
+		t.Fatalf("PagesPerVM not minimized: %d", shrunk.PagesPerVM)
+	}
+	if shrunk.FaultRate != 0 || shrunk.VolatileFrac != 0 {
+		t.Fatalf("irrelevant mechanisms not removed: %+v", shrunk)
+	}
+	if shrunk.ConvergePasses != 2 || shrunk.MeasureIntervals != 0 {
+		t.Fatalf("phases not minimized: %+v", shrunk)
+	}
+}
+
+func TestShrinkRespectsProbeBudget(t *testing.T) {
+	sc := Generate(5)
+	probesSeen := 0
+	_, probes := Shrink(sc, func(Scenario) bool { probesSeen++; return true }, 7)
+	if probes != 7 || probesSeen != 7 {
+		t.Fatalf("probe budget not honored: reported %d, ran %d", probes, probesSeen)
+	}
+}
+
+func TestReproTestIsPasteable(t *testing.T) {
+	sc := Generate(9)
+	out := ReproTest(sc, &testErr{})
+	for _, want := range []string{
+		"// Reproduces: synthetic invariant failure",
+		"func TestRepro_9(t *testing.T)",
+		"workload.Scenario{Seed:0x9",
+		"check.RunScenario(sc)",
+		"t.Fatal(err)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("repro test missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "synthetic invariant failure" }

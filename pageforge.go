@@ -37,6 +37,7 @@ import (
 	"repro/internal/diffengine"
 	"repro/internal/dram"
 	"repro/internal/ecc"
+	"repro/internal/check"
 	"repro/internal/esx"
 	"repro/internal/experiments"
 	"repro/internal/faults"
@@ -51,6 +52,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/tailbench"
 	"repro/internal/vm"
+	"repro/internal/workload"
 )
 
 // --- Simulated machine and configurations ---------------------------------
@@ -382,6 +384,39 @@ func DefaultRASRates() []float64 { return experiments.DefaultRASRates() }
 // application under identical tunables.
 func Timeline(s *Suite, app Profile, intervals int) (*experiments.TimelineResult, error) {
 	return experiments.Timeline(s, app, intervals)
+}
+
+// --- Model-based verification -----------------------------------------------
+
+// Scenario is one randomized verification case: a compact seed + deployment
+// shape + engine tunables + fault rate that maps to one bit-reproducible
+// platform run (see internal/workload).
+type Scenario = workload.Scenario
+
+// VerifyReport summarizes one verified scenario: the checker's audit
+// counters for both engines and the differential-equivalence outcome.
+type VerifyReport = check.Report
+
+// GenerateScenario draws a random verification scenario from the seed.
+func GenerateScenario(seed uint64) Scenario { return workload.Generate(seed) }
+
+// RunScenario runs one scenario through both dedup engines with the
+// reference-model invariant checker attached at every scan interval, plus
+// the KSM ≡ PageForge merge-set equivalence on fault-free converged runs.
+func RunScenario(sc Scenario) (*VerifyReport, error) { return check.RunScenario(sc) }
+
+// ShrinkScenario greedily minimizes a failing scenario; fails must be a
+// deterministic predicate (true = still fails). It returns the smallest
+// failing scenario found and the number of probe runs spent.
+func ShrinkScenario(sc Scenario, fails func(Scenario) bool, maxProbes int) (Scenario, int) {
+	return workload.Shrink(sc, fails, maxProbes)
+}
+
+// VerifyExperiment runs n randomized scenarios (n <= 0 uses the default of
+// 200) with full invariant checking; on failure the offending scenario is
+// shrunk and the error carries a ready-to-paste regression test.
+func VerifyExperiment(s *Suite, n int) (*experiments.VerifyResult, error) {
+	return experiments.Verify(s, n)
 }
 
 // --- Observability ----------------------------------------------------------
