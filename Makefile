@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 5s
 COVER_FLOOR ?= 75
 
-.PHONY: build test race vet bench fuzz smoke cover ci
+.PHONY: build test race vet bench fuzz smoke cover perfcheck ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/pageforge bench -out BENCH_suite.json
+
+# perfcheck guards the scan hot path: it re-runs the legacy-vs-optimized
+# scan-throughput benchmark and fails when the speedup ratio regresses more
+# than 10% against the committed BENCH_suite.json baseline, or drops below
+# the 2x floor. The ratio (not absolute throughput) is what gets compared,
+# so the gate is meaningful across machines.
+perfcheck:
+	$(GO) run ./cmd/pageforge perfcheck -baseline BENCH_suite.json -tol 0.10
 
 # smoke exercises the CLI's machine-readable path end to end: a fast
 # two-app table4 run must emit a JSON document with populated rows.
@@ -50,5 +58,6 @@ cover:
 # ci is the gate every change must pass: compile, static checks, the full
 # test suite under the race detector (the experiment suite runs its
 # simulations through a concurrent worker pool), the short fuzz budget,
-# the CLI JSON smoke run, and the coverage floor.
-ci: build vet race fuzz smoke cover
+# the CLI JSON smoke run, the coverage floor, and the scan-throughput
+# regression gate.
+ci: build vet race fuzz smoke cover perfcheck

@@ -516,7 +516,7 @@ func BenchmarkAlgorithmESXvsKSM(b *testing.B) {
 			s.RunToSteadyState(12)
 			f := img.MeasureFootprint()
 			b.ReportMetric(f.Savings()*100, "savings_%")
-			cmps := s.Alg.Stable.Comparisons + s.Alg.Unstable.Comparisons
+			cmps := s.Alg.Stable.Comparisons() + s.Alg.Unstable.Comparisons()
 			b.ReportMetric(float64(cmps)/float64(f.TotalGuestPages), "compares/page")
 		}
 	})
@@ -762,4 +762,80 @@ func BenchmarkLLCDedup(b *testing.B) {
 	}
 	b.Run("conventional", func(b *testing.B) { run(b, 1024, 1024) })
 	b.Run("dedup-2x-tags", func(b *testing.B) { run(b, 2048, 1024) })
+}
+
+// BenchmarkComparePage contrasts the word-at-a-time early-exit comparison
+// against the byte-wise reference on the two interesting shapes: identical
+// pages (full 4KB examined) and pages diverging midway.
+func BenchmarkComparePage(b *testing.B) {
+	p := mem.New(4 * mem.PageSize)
+	eqA, _ := p.Alloc()
+	eqB, _ := p.Alloc()
+	mid, _ := p.Alloc()
+	r := sim.NewRNG(2)
+	r.FillBytes(p.Page(eqA))
+	p.CopyPage(eqB, eqA)
+	p.CopyPage(mid, eqA)
+	p.Page(mid)[mem.PageSize/2] ^= 1
+	for _, bc := range []struct {
+		name string
+		mode mem.CompareMode
+	}{{"word", mem.CompareWord}, {"byte", mem.CompareByte}} {
+		p.SetCompareMode(bc.mode)
+		b.Run(bc.name+"/equal", func(b *testing.B) {
+			b.SetBytes(mem.PageSize)
+			for i := 0; i < b.N; i++ {
+				p.ComparePage(eqA, eqB)
+			}
+		})
+		b.Run(bc.name+"/mid-diverge", func(b *testing.B) {
+			b.SetBytes(mem.PageSize / 2)
+			for i := 0; i < b.N; i++ {
+				p.ComparePage(eqA, mid)
+			}
+		})
+	}
+	p.SetCompareMode(mem.CompareWord)
+}
+
+// BenchmarkPageHash contrasts the allocation-free byte-slice hash against
+// the legacy allocating words-conversion path (same keys, different cost).
+func BenchmarkPageHash(b *testing.B) {
+	page := make([]byte, mem.PageSize)
+	sim.NewRNG(3).FillBytes(page)
+	b.Run("bytes", func(b *testing.B) {
+		b.SetBytes(hash.KSMDigestBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hash.PageHash(page)
+		}
+	})
+	b.Run("alloc-words", func(b *testing.B) {
+		b.SetBytes(hash.KSMDigestBytes)
+		b.ReportAllocs()
+		h := experiments.AllocHasher{}
+		for i := 0; i < b.N; i++ {
+			h.PageKey(page)
+		}
+	})
+}
+
+// BenchmarkScanPass measures whole-pass scan throughput: the legacy
+// implementation (byte compare, allocating hash, sequential single shard)
+// against the optimized one (word compare, allocation-free hash, sharded
+// pass) on identical dup-heavy deployments. `pageforge bench` records the
+// same measurement into BENCH_suite.json and `pageforge perfcheck` gates
+// on its speedup ratio.
+func BenchmarkScanPass(b *testing.B) {
+	cfg := experiments.DefaultScanPassConfig()
+	cfg.Repeats = 1
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScanPassBench(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LegacyPagesPerSec, "legacy_pages/s")
+		b.ReportMetric(res.OptimizedPagesPerSec, "opt_pages/s")
+		b.ReportMetric(res.Speedup, "speedup_x")
+	}
 }

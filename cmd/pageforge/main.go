@@ -49,6 +49,8 @@ func main() {
 		run(os.Args[2:])
 	case "bench":
 		bench(os.Args[2:])
+	case "perfcheck":
+		perfcheck(os.Args[2:])
 	case "sweep":
 		sweep(os.Args[2:])
 	default:
@@ -63,6 +65,7 @@ func usage() {
   pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N]
                 [-json] [-trace file] [-metrics file] [-cpuprofile file] [-memprofile file] [-pprof addr]
   pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
+  pageforge perfcheck [-baseline BENCH_suite.json] [-tol 0.10]
   pageforge sweep [-app name] [-pages N] [-seconds S]`)
 }
 
@@ -435,6 +438,16 @@ func bench(args []string) {
 	}
 	elapsed := time.Since(start)
 
+	// Scan-throughput benchmark: legacy (byte compare, allocating hash,
+	// sequential single shard) versus optimized implementation on identical
+	// work. The speedup ratio is machine-portable, which is what perfcheck
+	// gates on.
+	scanpass, err := experiments.RunScanPassBench(experiments.DefaultScanPassConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
 	type keyMetrics struct {
 		AvgDemandLatency float64 `json:"avg_demand_latency_cycles"`
 		DemandLatP95     float64 `json:"demand_latency_p95_cycles"`
@@ -444,14 +457,15 @@ func bench(args []string) {
 		SavedFrac        float64 `json:"memory_savings_frac"`
 	}
 	artifact := struct {
-		Schema      string                  `json:"schema"`
-		GoVersion   string                  `json:"go_version"`
-		Fast        bool                    `json:"fast"`
-		Seed        uint64                  `json:"seed"`
-		Parallelism int                     `json:"parallelism"`
-		ElapsedSecs float64                 `json:"elapsed_seconds"`
-		Runs        []experiments.RunRecord `json:"runs"`
-		KeyMetrics  map[string]keyMetrics   `json:"key_metrics"`
+		Schema      string                     `json:"schema"`
+		GoVersion   string                     `json:"go_version"`
+		Fast        bool                       `json:"fast"`
+		Seed        uint64                     `json:"seed"`
+		Parallelism int                        `json:"parallelism"`
+		ElapsedSecs float64                    `json:"elapsed_seconds"`
+		ScanPass    experiments.ScanPassResult `json:"scanpass"`
+		Runs        []experiments.RunRecord    `json:"runs"`
+		KeyMetrics  map[string]keyMetrics      `json:"key_metrics"`
 	}{
 		Schema:      experiments.DocSchema,
 		GoVersion:   runtime.Version(),
@@ -459,6 +473,7 @@ func bench(args []string) {
 		Seed:        *seed,
 		Parallelism: *parallel,
 		ElapsedSecs: elapsed.Seconds(),
+		ScanPass:    scanpass,
 		Runs:        progress.Records(),
 		KeyMetrics:  make(map[string]keyMetrics),
 	}
@@ -480,7 +495,56 @@ func bench(args []string) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bench: %d runs in %.2fs -> %s\n", len(artifact.Runs), elapsed.Seconds(), *out)
+	fmt.Fprintf(os.Stderr, "bench: %d runs in %.2fs, scanpass speedup %.2fx -> %s\n",
+		len(artifact.Runs), elapsed.Seconds(), scanpass.Speedup, *out)
+}
+
+// perfcheck re-runs the scan-throughput benchmark and gates on regression
+// against the committed baseline artifact. Absolute throughput is machine
+// dependent, so the gate compares the legacy-vs-optimized speedup RATIO:
+// it must stay within the tolerance band of the baseline's ratio and never
+// drop below the 2x floor the optimization work committed to.
+func perfcheck(args []string) {
+	fs := flag.NewFlagSet("perfcheck", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "BENCH_suite.json", "committed benchmark artifact")
+	tol := fs.Float64("tol", 0.10, "allowed fractional speedup regression vs baseline")
+	fs.Parse(args)
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(1)
+	}
+	var baseline struct {
+		ScanPass experiments.ScanPassResult `json:"scanpass"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(1)
+	}
+	if baseline.ScanPass.Speedup == 0 {
+		fmt.Fprintf(os.Stderr, "perfcheck: %s has no scanpass section — regenerate it with `pageforge bench`\n", *baselinePath)
+		os.Exit(1)
+	}
+
+	cur, err := experiments.RunScanPassBench(experiments.DefaultScanPassConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(1)
+	}
+	floor := baseline.ScanPass.Speedup * (1 - *tol)
+	fmt.Fprintf(os.Stderr, "perfcheck: speedup %.2fx (baseline %.2fx, floor %.2fx; legacy %.0f optimized %.0f pages/s)\n",
+		cur.Speedup, baseline.ScanPass.Speedup, floor,
+		cur.LegacyPagesPerSec, cur.OptimizedPagesPerSec)
+	if cur.Speedup < floor {
+		fmt.Fprintf(os.Stderr, "perfcheck: FAIL — scan-throughput speedup regressed more than %.0f%% vs baseline\n", *tol*100)
+		os.Exit(1)
+	}
+	if cur.Speedup < 2 {
+		fmt.Fprintln(os.Stderr, "perfcheck: FAIL — speedup below the committed 2x floor")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "perfcheck: OK")
 }
 
 // sweep runs the dedup-aggressiveness study: the sleep_millisecs x

@@ -64,7 +64,7 @@ func main() {
 	ks.RunToSteadyState(12)
 	fKSM := imgKSM.MeasureFootprint()
 	fmt.Printf("\nKSM on the same image: %.1f%% savings, %d tree comparisons, 1KB hashed/page\n",
-		fKSM.Savings()*100, ks.Alg.Stable.Comparisons+ks.Alg.Unstable.Comparisons)
+		fKSM.Savings()*100, ks.Alg.Stable.Comparisons()+ks.Alg.Unstable.Comparisons())
 	fmt.Printf("ESX hashed %d KB total (4KB/page) but compared only %d times\n",
 		sw.Stats.BytesHashed/1024, sw.Stats.Comparisons)
 }

@@ -1,0 +1,33 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// TestDRAMBytesNeverExceedBytesTouched sweeps generated scenarios (the same
+// distribution the verify experiment draws from, including sharded-parallel
+// configurations and fault storms) and checks the scan-accounting
+// invariant: the DRAM traffic attributed to scanning can never exceed the
+// bytes the scanner streamed through the cache hierarchy. The early-exit
+// word compare changed how comparisons terminate; this pins that the
+// byte-flow accounting did not drift with it.
+func TestDRAMBytesNeverExceedBytesTouched(t *testing.T) {
+	for seed := uint64(0); seed < 24; seed++ {
+		sc := workload.Generate(seed)
+		res, err := platform.Run(platform.KSM, sc.Profile(), sc.Config())
+		if err != nil {
+			t.Fatalf("scenario %s: %v", sc, err)
+		}
+		touched := res.Metrics.Counters["ksm/bytes_touched"]
+		dram := res.Metrics.Counters["ksm/dram_bytes"]
+		if touched == 0 {
+			t.Fatalf("scenario %s: scanner touched no bytes — sweep exercised nothing", sc)
+		}
+		if dram > touched {
+			t.Errorf("scenario %s: ksm/dram_bytes %d > ksm/bytes_touched %d", sc, dram, touched)
+		}
+	}
+}

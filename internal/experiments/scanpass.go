@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/hash"
+	"repro/internal/ksm"
+	"repro/internal/mem"
+	"repro/internal/tailbench"
+)
+
+// AllocHasher reproduces the pre-optimization hash path: it converts the
+// page prefix to a fresh []uint32 per call before hashing, exactly as
+// PageHash used to. Keys are bit-identical to ksm.JHasher, so a legacy run
+// performs the same algorithmic work as an optimized one — only the
+// implementation cost differs. The bench suite uses it as the committed
+// baseline; it has no place on the hot path.
+type AllocHasher struct{}
+
+// PageKey hashes the first 1KB via the allocating words conversion.
+func (AllocHasher) PageKey(page []byte) uint32 {
+	words := make([]uint32, hash.KSMDigestBytes/4)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(page[4*i:])
+	}
+	return hash.JHash2(words, 17)
+}
+
+// BytesRead reports the hashed prefix length (matches ksm.JHasher).
+func (AllocHasher) BytesRead() int { return hash.KSMDigestBytes }
+
+// ScanPassConfig shapes the scan-throughput measurement. The zero value is
+// not useful; use DefaultScanPassConfig.
+type ScanPassConfig struct {
+	VMs        int
+	PagesPerVM int
+	Passes     int // full passes per timed run
+	Repeats    int // timed runs per mode; the best (min time) is kept
+	ShardBits  int // optimized mode: 2^bits content shards
+	Workers    int // optimized mode: ScanPass worker count
+	Seed       uint64
+	Profile    tailbench.Profile // content shape; PagesPerVM is overridden
+}
+
+// DefaultScanPassConfig is the committed-baseline configuration: a
+// dup-heavy deployment (deep trees, long common prefixes) where compare
+// and hash dominate — the workload the hot-path optimizations target.
+func DefaultScanPassConfig() ScanPassConfig {
+	return ScanPassConfig{
+		VMs:        8,
+		PagesPerVM: 400,
+		Passes:     6,
+		Repeats:    3,
+		ShardBits:  4,
+		Workers:    4,
+		Seed:       1,
+		Profile: tailbench.Profile{
+			Name:         "scanpass-bench",
+			DupFrac:      0.55,
+			DupCopies:    4,
+			ZeroFrac:     0.05,
+			VolatileFrac: 0.10,
+		},
+	}
+}
+
+// ScanPassResult is the benchmark's machine-readable outcome.
+type ScanPassResult struct {
+	LegacyPagesPerSec    float64 `json:"legacy_pages_per_sec"`
+	OptimizedPagesPerSec float64 `json:"optimized_pages_per_sec"`
+	Speedup              float64 `json:"speedup"`
+	CandidatesPerRun     int     `json:"candidates_per_run"`
+	LegacyMerges         uint64  `json:"legacy_merges"`
+	OptimizedMerges      uint64  `json:"optimized_merges"`
+	ShardBits            int     `json:"shard_bits"`
+	Workers              int     `json:"workers"`
+	Passes               int     `json:"passes"`
+}
+
+// scanPassMode runs cfg.Passes full scan passes over a freshly built image
+// and reports (candidates scanned, merges, elapsed). legacy selects the
+// pre-optimization implementations: byte-wise compare, allocating hash,
+// single shard, sequential loop.
+func scanPassMode(cfg ScanPassConfig, legacy bool) (int, uint64, time.Duration, error) {
+	prof := cfg.Profile
+	prof.PagesPerVM = cfg.PagesPerVM
+	img, err := tailbench.BuildImage(prof, cfg.VMs, cfg.VMs*cfg.PagesPerVM*2, cfg.Seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var s *ksm.Scanner
+	if legacy {
+		img.HV.Phys.SetCompareMode(mem.CompareByte)
+		s = ksm.NewScanner(ksm.NewAlgorithmSharded(img.HV, AllocHasher{}, 0), ksm.DefaultCosts())
+	} else {
+		s = ksm.NewScanner(ksm.NewAlgorithmSharded(img.HV, ksm.JHasher{}, cfg.ShardBits), ksm.DefaultCosts())
+	}
+	candidates := 0
+	start := time.Now()
+	for p := 0; p < cfg.Passes; p++ {
+		if legacy {
+			pages := s.Alg.MergeablePages()
+			for i := 0; i < pages; i++ {
+				s.ScanOne()
+			}
+			candidates += pages
+		} else {
+			res := s.ScanPass(cfg.Workers)
+			candidates += res.Scanned
+		}
+		img.ChurnVolatile()
+	}
+	elapsed := time.Since(start)
+	return candidates, img.HV.Merges, elapsed, nil
+}
+
+// RunScanPassBench measures legacy versus optimized scan throughput under
+// cfg. Both modes do identical algorithmic work (same image, same merge
+// decisions); the measured ratio isolates the implementation: word-at-a-time
+// early-exit compare, allocation-free hashing, arena-backed pages, and the
+// sharded pass. Each mode runs cfg.Repeats times and keeps its best time,
+// which is the standard defense against scheduler noise on a shared box.
+func RunScanPassBench(cfg ScanPassConfig) (ScanPassResult, error) {
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 1
+	}
+	best := func(legacy bool) (int, uint64, time.Duration, error) {
+		var (
+			cand    int
+			merges  uint64
+			minTime time.Duration
+		)
+		for r := 0; r < cfg.Repeats; r++ {
+			c, m, d, err := scanPassMode(cfg, legacy)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if r == 0 || d < minTime {
+				minTime = d
+			}
+			cand, merges = c, m
+		}
+		return cand, merges, minTime, nil
+	}
+
+	lCand, lMerges, lTime, err := best(true)
+	if err != nil {
+		return ScanPassResult{}, err
+	}
+	oCand, oMerges, oTime, err := best(false)
+	if err != nil {
+		return ScanPassResult{}, err
+	}
+	if lCand != oCand {
+		return ScanPassResult{}, fmt.Errorf("scanpass: candidate counts diverged (legacy %d, optimized %d)", lCand, oCand)
+	}
+	if lMerges != oMerges {
+		return ScanPassResult{}, fmt.Errorf("scanpass: merge counts diverged (legacy %d, optimized %d) — modes are not doing identical work", lMerges, oMerges)
+	}
+	res := ScanPassResult{
+		LegacyPagesPerSec:    float64(lCand) / lTime.Seconds(),
+		OptimizedPagesPerSec: float64(oCand) / oTime.Seconds(),
+		CandidatesPerRun:     lCand,
+		LegacyMerges:         lMerges,
+		OptimizedMerges:      oMerges,
+		ShardBits:            cfg.ShardBits,
+		Workers:              cfg.Workers,
+		Passes:               cfg.Passes,
+	}
+	res.Speedup = res.OptimizedPagesPerSec / res.LegacyPagesPerSec
+	return res, nil
+}

@@ -86,17 +86,40 @@ func JHash2(k []uint32, initval uint32) uint32 {
 	return c
 }
 
-// JHash2Bytes interprets b as little-endian uint32 words and hashes them.
+// JHash2Bytes interprets b as little-endian uint32 words and hashes them,
+// bit-for-bit equivalent to converting to []uint32 and calling JHash2 — but
+// reading the words in place, so the scan hot path performs no allocation.
 // len(b) must be a multiple of 4, matching the kernel call sites.
 func JHash2Bytes(b []byte, initval uint32) uint32 {
 	if len(b)%4 != 0 {
 		panic("hash: JHash2Bytes length must be a multiple of 4")
 	}
-	words := make([]uint32, len(b)/4)
-	for i := range words {
-		words[i] = binary.LittleEndian.Uint32(b[i*4 : i*4+4])
+	length := uint32(len(b) / 4)
+	a := JHashInitval + length<<2 + initval
+	bb, c := a, a
+
+	for len(b) > 12 {
+		a += binary.LittleEndian.Uint32(b)
+		bb += binary.LittleEndian.Uint32(b[4:8])
+		c += binary.LittleEndian.Uint32(b[8:12])
+		a, bb, c = mix(a, bb, c)
+		b = b[12:]
 	}
-	return JHash2(words, initval)
+
+	switch len(b) {
+	case 12:
+		c += binary.LittleEndian.Uint32(b[8:12])
+		fallthrough
+	case 8:
+		bb += binary.LittleEndian.Uint32(b[4:8])
+		fallthrough
+	case 4:
+		a += binary.LittleEndian.Uint32(b)
+		c = final(a, bb, c)
+	case 0:
+		// Nothing left to add: return c as-is (kernel behaviour).
+	}
+	return c
 }
 
 // KSMDigestBytes is how much of the page KSM hashes: the first 1KB

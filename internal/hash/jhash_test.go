@@ -143,3 +143,48 @@ func TestRol32(t *testing.T) {
 		t.Fatal("rol32 wraparound broken")
 	}
 }
+
+// TestJHash2BytesMatchesWords pins the allocation-free byte-slice entry
+// point against the reference path — converting to []uint32 and calling
+// JHash2 — across every tail length and random contents.
+func TestJHash2BytesMatchesWords(t *testing.T) {
+	r := sim.NewRNG(0xB17E5)
+	for words := 0; words <= 40; words++ {
+		for trial := 0; trial < 8; trial++ {
+			b := make([]byte, 4*words)
+			r.FillBytes(b)
+			k := make([]uint32, words)
+			for i := range k {
+				k[i] = uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+			}
+			initval := r.Uint32()
+			if got, want := JHash2Bytes(b, initval), JHash2(k, initval); got != want {
+				t.Fatalf("words=%d initval=%#x: JHash2Bytes=%#x JHash2=%#x", words, initval, got, want)
+			}
+		}
+	}
+}
+
+func TestJHash2BytesRejectsRaggedLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("JHash2Bytes accepted a length not divisible by 4")
+		}
+	}()
+	JHash2Bytes(make([]byte, 7), 0)
+}
+
+// TestPageHashZeroAllocs enforces the hot-path contract: hashing a page
+// during a scan pass must not allocate.
+func TestPageHashZeroAllocs(t *testing.T) {
+	page := make([]byte, 4096)
+	r := sim.NewRNG(3)
+	r.FillBytes(page)
+	var sink uint32
+	if n := testing.AllocsPerRun(200, func() {
+		sink += PageHash(page)
+	}); n != 0 {
+		t.Fatalf("PageHash allocates %v times per call, want 0", n)
+	}
+	_ = sink
+}

@@ -15,6 +15,9 @@
 package ksm
 
 import (
+	"encoding/binary"
+	"sync/atomic"
+
 	"repro/internal/hash"
 	"repro/internal/mem"
 	"repro/internal/rbtree"
@@ -76,18 +79,23 @@ type Stats struct {
 	FaultFallbacks uint64 // candidates completed in software after a hardware UE abort
 }
 
-// Algorithm is the engine-independent state of the KSM algorithm.
+// Algorithm is the engine-independent state of the KSM algorithm. The
+// stable and unstable trees are sharded by a content-key prefix (ShardOf);
+// the default single shard reproduces classic KSM exactly, while 2^k
+// shards let a scan pass fan out across workers (Scanner.ScanPass) because
+// every operation a candidate performs stays inside its own shard.
 type Algorithm struct {
 	HV       *vm.Hypervisor
-	Stable   *rbtree.Tree
-	Unstable *rbtree.Tree
+	Stable   *rbtree.Sharded
+	Unstable *rbtree.Sharded
 	Hasher   Hasher
 
-	items  map[vm.PageID]*rmapItem
-	order  []vm.PageID // scan order over mergeable pages
-	curs   int
-	pass   uint64
-	maxCmp int
+	items     map[vm.PageID]*rmapItem
+	order     []vm.PageID // scan order over mergeable pages
+	curs      int
+	pass      uint64
+	shardBits int
+	maxCmp    []int // per-shard deepest-comparison tracker
 
 	opts    Options
 	zeroPFN *mem.PFN // dedicated zero frame (use_zero_pages)
@@ -95,36 +103,73 @@ type Algorithm struct {
 	Stats Stats
 }
 
-// NewAlgorithm builds the algorithm state over a hypervisor. The scan order
-// covers every currently-mergeable page of every VM; call RefreshOrder if
-// madvise regions change later.
+// bump atomically increments a statistics counter. Scan workers of a
+// sharded pass update the same Stats struct concurrently; sums of
+// increments are order-independent, so totals stay bit-identical to a
+// sequential pass.
+func bump(ctr *uint64) { atomic.AddUint64(ctr, 1) }
+
+// NewAlgorithm builds single-shard (classic KSM) algorithm state over a
+// hypervisor. The scan order covers every currently-mergeable page of every
+// VM; call RefreshOrder if madvise regions change later.
 func NewAlgorithm(hv *vm.Hypervisor, h Hasher) *Algorithm {
+	return NewAlgorithmSharded(hv, h, 0)
+}
+
+// NewAlgorithmSharded builds algorithm state with 2^shardBits content
+// shards. shardBits 0 is exactly NewAlgorithm: one tree pair, identical
+// shapes and counters.
+func NewAlgorithmSharded(hv *vm.Hypervisor, h Hasher, shardBits int) *Algorithm {
+	if shardBits < 0 || shardBits > 16 {
+		panic("ksm: shardBits out of range")
+	}
+	n := 1 << shardBits
 	a := &Algorithm{
-		HV:     hv,
-		Hasher: h,
-		items:  make(map[vm.PageID]*rmapItem),
-		pass:   1,
+		HV:        hv,
+		Hasher:    h,
+		items:     make(map[vm.PageID]*rmapItem),
+		pass:      1,
+		shardBits: shardBits,
+		maxCmp:    make([]int, n),
 	}
-	cmp := func(x, y mem.PFN) (int, int) {
-		c, n := hv.Phys.ComparePage(x, y)
-		if n > a.maxCmp {
-			a.maxCmp = n
-		}
-		return c, n
+	mk := func(shard int) *rbtree.Tree {
+		return rbtree.New(func(x, y mem.PFN) (int, int) {
+			c, nb := hv.Phys.ComparePage(x, y)
+			if nb > a.maxCmp[shard] {
+				a.maxCmp[shard] = nb
+			}
+			return c, nb
+		})
 	}
-	a.Stable = rbtree.New(cmp)
-	a.Unstable = rbtree.New(cmp)
+	route := func(pfn mem.PFN) int { return a.ShardOf(pfn) }
+	a.Stable = rbtree.NewSharded(n, route, mk)
+	a.Unstable = rbtree.NewSharded(n, route, mk)
 	a.RefreshOrder()
 	return a
 }
 
-// TakeMaxCmp reports the deepest single comparison since the last call and
-// resets the tracker. Software KSM keeps the candidate page cached, so the
-// candidate's DRAM traffic per candidate is its deepest read, not the sum
-// over every tree level.
-func (a *Algorithm) TakeMaxCmp() int {
-	m := a.maxCmp
-	a.maxCmp = 0
+// ShardOf routes a frame to a shard by the top shardBits bits of its first
+// 8 content bytes read big-endian — a memcmp-order-preserving prefix, so
+// equal pages always share a shard and the shard order is the content
+// order. All-zero pages (and the dedicated zero frame) route to shard 0.
+func (a *Algorithm) ShardOf(pfn mem.PFN) int {
+	if a.shardBits == 0 {
+		return 0
+	}
+	key := binary.BigEndian.Uint64(a.HV.Phys.Page(pfn)[:8])
+	return int(key >> (64 - uint(a.shardBits)))
+}
+
+// ShardBits reports log2 of the shard count.
+func (a *Algorithm) ShardBits() int { return a.shardBits }
+
+// TakeMaxCmp reports the deepest single comparison on the shard since the
+// last call and resets the tracker. Software KSM keeps the candidate page
+// cached, so the candidate's DRAM traffic per candidate is its deepest
+// read, not the sum over every tree level.
+func (a *Algorithm) TakeMaxCmp(shard int) int {
+	m := a.maxCmp[shard]
+	a.maxCmp[shard] = 0
 	return m
 }
 
@@ -146,6 +191,19 @@ func (a *Algorithm) RefreshOrder() {
 
 // MergeablePages reports how many pages are in the scan order.
 func (a *Algorithm) MergeablePages() int { return len(a.order) }
+
+// OrderSnapshot exposes the scan order for pass fan-out. Callers must treat
+// it as read-only.
+func (a *Algorithm) OrderSnapshot() []vm.PageID { return a.order }
+
+// PrepareItems materializes tracking state for every page in the scan
+// order. A parallel pass calls it before spawning workers so the items map
+// is never written concurrently — workers then only read it.
+func (a *Algorithm) PrepareItems() {
+	for _, id := range a.order {
+		a.item(id)
+	}
+}
 
 // Pass reports the current pass number (starting at 1).
 func (a *Algorithm) Pass() uint64 { return a.pass }
@@ -189,10 +247,10 @@ func (a *Algorithm) EndPass() {
 	for _, n := range stale {
 		a.Stable.Delete(n)
 		a.HV.Phys.DecRef(n.PFN)
-		a.Stats.StablePruned++
+		bump(&a.Stats.StablePruned)
 	}
 	a.pass++
-	a.Stats.FullScans++
+	bump(&a.Stats.FullScans)
 }
 
 // item returns (creating if needed) the tracking state for a page.
@@ -233,13 +291,13 @@ func (a *Algorithm) HashCheck(id vm.PageID) (changed bool, bytesRead int) {
 	bytesRead = a.Hasher.BytesRead()
 	switch {
 	case !it.hasHash:
-		a.Stats.HashFirstSeen++
+		bump(&a.Stats.HashFirstSeen)
 		changed = true
 	case it.oldHash == key:
-		a.Stats.HashMatches++
+		bump(&a.Stats.HashMatches)
 		changed = false
 	default:
-		a.Stats.HashMismatches++
+		bump(&a.Stats.HashMismatches)
 		changed = true
 	}
 	it.oldHash = key
@@ -255,13 +313,13 @@ func (a *Algorithm) RecordHash(id vm.PageID, key uint32) (changed bool) {
 	it := a.item(id)
 	switch {
 	case !it.hasHash:
-		a.Stats.HashFirstSeen++
+		bump(&a.Stats.HashFirstSeen)
 		changed = true
 	case it.oldHash == key:
-		a.Stats.HashMatches++
+		bump(&a.Stats.HashMatches)
 		changed = false
 	default:
-		a.Stats.HashMismatches++
+		bump(&a.Stats.HashMismatches)
 		changed = true
 	}
 	it.oldHash = key
@@ -274,10 +332,10 @@ func (a *Algorithm) RecordHash(id vm.PageID, key uint32) (changed bool) {
 func (a *Algorithm) MergeIntoStable(id vm.PageID, node *rbtree.Node) (bytes int, ok bool) {
 	n, err := a.HV.Merge(id, node.PFN)
 	if err != nil {
-		a.Stats.FailedMerges++
+		bump(&a.Stats.FailedMerges)
 		return n, false
 	}
-	a.Stats.StableMerges++
+	bump(&a.Stats.StableMerges)
 	return n, true
 }
 
@@ -297,13 +355,13 @@ func (a *Algorithm) ValidUnstableMatch(node *rbtree.Node) bool {
 // 14-17). On success the unstable node is removed.
 func (a *Algorithm) MergeWithUnstable(id vm.PageID, node *rbtree.Node) (bytes int, ok bool) {
 	if !a.ValidUnstableMatch(node) {
-		a.Stats.StaleUnstable++
+		bump(&a.Stats.StaleUnstable)
 		a.removeUnstable(node)
 		return 0, false
 	}
 	n, err := a.HV.Merge(id, node.PFN)
 	if err != nil {
-		a.Stats.FailedMerges++
+		bump(&a.Stats.FailedMerges)
 		return n, false
 	}
 	pfn := node.PFN
@@ -312,7 +370,7 @@ func (a *Algorithm) MergeWithUnstable(id vm.PageID, node *rbtree.Node) (bytes in
 	// if every sharer later CoW-breaks away.
 	a.HV.Phys.IncRef(pfn)
 	a.Stable.Insert(pfn, stableItem{pfn: pfn})
-	a.Stats.UnstableMerges++
+	bump(&a.Stats.UnstableMerges)
 	return n, true
 }
 

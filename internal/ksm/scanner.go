@@ -1,6 +1,11 @@
 package ksm
 
-import "repro/internal/obs"
+import (
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
 
 // Costs models what the software KSM kthread pays, in core cycles, for each
 // primitive. The defaults are calibrated so that the per-candidate cycle
@@ -78,7 +83,28 @@ func NewScanner(alg *Algorithm, costs Costs) *Scanner {
 	return &Scanner{Alg: alg, Costs: costs}
 }
 
-// BatchResult summarizes one work interval (pages_to_scan candidates).
+// scanAcct accumulates one candidate's (or one whole shard's) cost
+// accounting. Sequential scanning applies it to the Scanner's totals after
+// every candidate; a parallel pass gives each shard its own accumulator and
+// merges them in shard order at the join, so totals are sums of the same
+// per-candidate uint64 charges in both modes — bit-identical.
+type scanAcct struct {
+	cycles       CycleBreakdown
+	bytesTouched uint64
+	dramBytes    uint64
+}
+
+// apply folds an accumulator into the scanner's cumulative counters.
+func (s *Scanner) apply(ac *scanAcct) {
+	s.Cycles.Compare += ac.cycles.Compare
+	s.Cycles.Hash += ac.cycles.Hash
+	s.Cycles.Other += ac.cycles.Other
+	s.BytesTouched += ac.bytesTouched
+	s.DRAMBytes += ac.dramBytes
+}
+
+// BatchResult summarizes one work interval (pages_to_scan candidates) or
+// one full ScanPass.
 type BatchResult struct {
 	Scanned   int
 	Merged    int
@@ -126,19 +152,20 @@ func (s *Scanner) ScanOne() (merged, passEnded, ok bool) {
 	if passEnded {
 		defer a.EndPass()
 	}
-	a.TakeMaxCmp()
-	hashed := 0
-	defer func() {
-		// Candidate-page DRAM contribution: deepest read, plus the part of
-		// the hash prefix not covered by it.
-		deepest := a.TakeMaxCmp()
-		s.DRAMBytes += uint64(deepest)
-		if hashed > deepest {
-			s.DRAMBytes += uint64(hashed - deepest)
-		}
-	}()
-	a.Stats.PagesScanned++
-	s.Cycles.Other += s.Costs.CandidateOverhead
+	var ac scanAcct
+	merged = s.scanCandidate(id, &ac)
+	s.apply(&ac)
+	return merged, passEnded, true
+}
+
+// scanCandidate runs Algorithm 1 for one candidate, charging all costs to
+// ac. It is the shared body of sequential ScanOne and parallel ScanPass
+// workers; everything it touches beyond ac is either confined to the
+// candidate's content shard or updated commutatively (atomic counters).
+func (s *Scanner) scanCandidate(id vm.PageID, ac *scanAcct) (merged bool) {
+	a := s.Alg
+	bump(&a.Stats.PagesScanned)
+	ac.cycles.Other += s.Costs.CandidateOverhead
 	if s.Trace.Enabled() {
 		defer func() {
 			if merged {
@@ -152,83 +179,186 @@ func (s *Scanner) ScanOne() (merged, passEnded, ok bool) {
 	}
 
 	if a.SkipCandidate(id) {
-		return false, passEnded, true
+		return false
 	}
 	if a.SmartSkip(id) {
-		return false, passEnded, true
+		return false
 	}
 	if a.Options().UseZeroPages {
 		zeroMerged, scanned := a.TryMergeZero(id)
-		s.chargeCompare(uint64(scanned))
+		s.chargeCompare(ac, uint64(scanned))
 		if zeroMerged {
-			s.Cycles.Other += s.Costs.MergeOverhead
-			return true, passEnded, true
+			ac.cycles.Other += s.Costs.MergeOverhead
+			return true
 		}
 	}
 	pfn, okr := a.HV.Resolve(id)
 	if !okr {
-		return false, passEnded, true
+		return false
 	}
 
+	// All tree work for this candidate happens on its content shard; the
+	// shard's deepest-comparison tracker brackets it for DRAM accounting.
+	shard := a.ShardOf(pfn)
+	a.TakeMaxCmp(shard)
+	hashed := 0
+	defer func() {
+		// Candidate-page DRAM contribution: deepest read, plus the part of
+		// the hash prefix not covered by it.
+		deepest := a.TakeMaxCmp(shard)
+		ac.dramBytes += uint64(deepest)
+		if hashed > deepest {
+			ac.dramBytes += uint64(hashed - deepest)
+		}
+	}()
+
 	// Search the stable tree (Algorithm 1 line 7).
-	cmpBytes := a.Stable.BytesCompared
-	node := a.Stable.Lookup(pfn)
-	s.chargeCompare(a.Stable.BytesCompared - cmpBytes)
+	stable := a.Stable.Shard(shard)
+	cmpBytes := stable.BytesCompared
+	node := stable.Lookup(pfn)
+	s.chargeCompare(ac, stable.BytesCompared-cmpBytes)
 
 	if node != nil && node.PFN != pfn {
 		n, mok := a.MergeIntoStable(id, node)
-		s.chargeVerify(uint64(n)) // the final write-protected compare
+		s.chargeVerify(ac, uint64(n)) // the final write-protected compare
 		if mok {
-			s.Cycles.Other += s.Costs.MergeOverhead
-			return true, passEnded, true
+			ac.cycles.Other += s.Costs.MergeOverhead
+			return true
 		}
-		return false, passEnded, true
+		return false
 	}
 
 	// Not in the stable tree: hash-based change detection (lines 11-12).
 	changed, bytesRead := a.HashCheck(id)
 	hashed = bytesRead
-	s.chargeHash(uint64(bytesRead))
+	s.chargeHash(ac, uint64(bytesRead))
 	if changed {
 		// Modified since last pass (or first sighting): drop it (line 22).
-		return false, passEnded, true
+		return false
 	}
 
 	// Search the unstable tree, inserting on miss (lines 13-20).
-	cmpBytes = a.Unstable.BytesCompared
+	unstable := a.Unstable.Shard(shard)
+	cmpBytes = unstable.BytesCompared
 	match, _ := a.UnstableSearchOrInsert(id)
-	s.chargeCompare(a.Unstable.BytesCompared - cmpBytes)
+	s.chargeCompare(ac, unstable.BytesCompared-cmpBytes)
 	if match != nil {
 		n, mok := a.MergeWithUnstable(id, match)
-		s.chargeVerify(uint64(n))
+		s.chargeVerify(ac, uint64(n))
 		if mok {
-			s.Cycles.Other += s.Costs.MergeOverhead
-			return true, passEnded, true
+			ac.cycles.Other += s.Costs.MergeOverhead
+			return true
 		}
 	}
-	return false, passEnded, true
+	return false
 }
 
-func (s *Scanner) chargeCompare(bytes uint64) {
+// ScanPass processes one full pass over every mergeable page, fanning
+// candidates out across the algorithm's content shards with a bounded
+// worker pool, then ends the pass. The result is bit-identical to scanning
+// the same pass sequentially at any worker count: every candidate's tree
+// searches, merges, and frame updates are confined to its own content
+// shard (merges only ever relate equal-content pages, and equal content
+// routes to the same shard), per-shard candidate order follows scan order,
+// and the only cross-shard state — statistics sums and the frame freelist —
+// is commutative or flushed in canonical order at the join.
+func (s *Scanner) ScanPass(workers int) BatchResult {
+	a := s.Alg
+	order := a.OrderSnapshot()
+	if len(order) == 0 {
+		return BatchResult{}
+	}
+	shards := a.Stable.NumShards()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+
+	// Partition candidates by shard in scan order. Routing reads page
+	// content, which nothing mutates during a pass (merges remap pages,
+	// guest churn happens between passes), so partition-time routes hold
+	// for the whole pass. Unresolved candidates go to shard 0; they are
+	// skipped with only fixed overhead, which any shard accounts alike.
+	queues := make([][]vm.PageID, shards)
+	for _, id := range order {
+		shard := 0
+		if pfn, ok := a.HV.Resolve(id); ok {
+			shard = a.ShardOf(pfn)
+		}
+		queues[shard] = append(queues[shard], id)
+	}
+
+	// Workers must never mutate lazily-built shared state: materialize the
+	// rmap-item map and the dedicated zero frame before fan-out. (If the
+	// zero frame cannot be allocated, the freelist is empty and stays empty
+	// while frees are deferred, so worker-side retries fail read-only.)
+	a.PrepareItems()
+	if a.Options().UseZeroPages {
+		a.zeroFrame()
+	}
+
+	accts := make([]scanAcct, shards)
+	mergedBy := make([]int, shards)
+	phys := a.HV.Phys
+	phys.BeginDeferredFrees()
+	work := make(chan int, shards)
+	for i := 0; i < shards; i++ {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range work {
+				for _, id := range queues[shard] {
+					if s.scanCandidate(id, &accts[shard]) {
+						mergedBy[shard]++
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	phys.EndDeferredFrees()
+
+	res := BatchResult{Scanned: len(order), PassEnded: true}
+	for i := range accts {
+		s.apply(&accts[i])
+		res.Cycles.Compare += accts[i].cycles.Compare
+		res.Cycles.Hash += accts[i].cycles.Hash
+		res.Cycles.Other += accts[i].cycles.Other
+		res.Bytes += accts[i].bytesTouched
+		res.Merged += mergedBy[i]
+	}
+	a.curs = 0
+	a.EndPass()
+	return res
+}
+
+func (s *Scanner) chargeCompare(ac *scanAcct, bytes uint64) {
 	// Both pages are streamed, so the cache footprint is twice the bytes
 	// examined on one page. Only the tree page's side is charged to DRAM
 	// here; the candidate's side is accounted once per candidate.
-	s.Cycles.Compare += uint64(float64(bytes) * s.Costs.CyclesPerCompareByte)
-	s.BytesTouched += 2 * bytes
-	s.DRAMBytes += bytes
+	ac.cycles.Compare += uint64(float64(bytes) * s.Costs.CyclesPerCompareByte)
+	ac.bytesTouched += 2 * bytes
+	ac.dramBytes += bytes
 }
 
 // chargeVerify covers the final write-protected re-comparison before a
 // merge: it costs core cycles, but both pages were just compared and sit
 // in the cache hierarchy, so it draws (almost) nothing from DRAM.
-func (s *Scanner) chargeVerify(bytes uint64) {
-	s.Cycles.Compare += uint64(float64(bytes) * s.Costs.CyclesPerCompareByte * 0.25)
-	s.BytesTouched += 2 * bytes
+func (s *Scanner) chargeVerify(ac *scanAcct, bytes uint64) {
+	ac.cycles.Compare += uint64(float64(bytes) * s.Costs.CyclesPerCompareByte * 0.25)
+	ac.bytesTouched += 2 * bytes
 }
 
-func (s *Scanner) chargeHash(bytes uint64) {
-	s.Cycles.Hash += uint64(float64(bytes) * s.Costs.CyclesPerHashByte)
-	s.BytesTouched += bytes
+func (s *Scanner) chargeHash(ac *scanAcct, bytes uint64) {
+	ac.cycles.Hash += uint64(float64(bytes) * s.Costs.CyclesPerHashByte)
+	ac.bytesTouched += bytes
 }
 
 // RunToSteadyState drives full passes until a pass completes with no new

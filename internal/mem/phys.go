@@ -3,11 +3,21 @@
 // hypervisor zeroes pages before handing them to a guest, which is what
 // makes "mergeable zero" pages exist at all), and copy-on-write sharing
 // state used by same-page merging.
+//
+// Frames are backed by one contiguous arena: Page and ReadLine hand out
+// sub-slices of a single []byte allocated up front, so the scan hot path
+// creates no garbage and page data is laid out with real spatial locality.
+// Frame offsets are fixed by PFN, so views stay stable across freelist
+// reuse (see DESIGN.md §10 for the aliasing rules).
 package mem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
 )
 
 // PageSize is the frame size in bytes.
@@ -43,9 +53,9 @@ var ErrOutOfMemory = errors.New("mem: out of physical memory")
 
 // Frame is the per-frame metadata the hypervisor tracks.
 type Frame struct {
-	data []byte
-	refs int  // number of guest mappings pointing at this frame
-	cow  bool // write-protected shared frame (merged or pre-CoW)
+	refs  int  // number of guest mappings pointing at this frame
+	cow   bool // write-protected shared frame (merged or pre-CoW)
+	dirty bool // arena bytes may be nonzero from a previous owner
 }
 
 // Refs reports the number of mappings sharing the frame.
@@ -54,31 +64,76 @@ func (f *Frame) Refs() int { return f.refs }
 // CoW reports whether the frame is write-protected copy-on-write.
 func (f *Frame) CoW() bool { return f.cow }
 
+// CompareMode selects the page-comparison implementation.
+type CompareMode int
+
+const (
+	// CompareWord is the word-at-a-time early-exit comparison (default):
+	// uint64 loads with a bit-scan to locate the first differing byte, so
+	// the memcmp sign and the bytes-examined count are bit-identical to the
+	// byte-wise loop at ~8x the throughput.
+	CompareWord CompareMode = iota
+	// CompareByte is the reference byte-wise loop. The bench suite uses it
+	// as the committed baseline; property tests pin CompareWord against it.
+	CompareByte
+)
+
 // Phys is the physical memory of the machine.
 type Phys struct {
-	frames    []Frame
-	free      []PFN
+	arena  []byte
+	frames []Frame
+	free   []PFN
+
 	allocated int
 	peak      int
+	cmpMode   CompareMode
+
+	// Deferred-free mode: while a sharded scan pass runs workers in
+	// parallel, frames released by merges are parked under mu and flushed
+	// to the freelist in canonical PFN order at the pass join, so the
+	// freelist state never depends on worker interleaving.
+	mu         sync.Mutex
+	deferFrees bool
+	pending    []PFN
 
 	// Statistics of interest to the evaluation.
 	Allocs    uint64 // total Alloc calls
 	Frees     uint64 // frames returned to the freelist
-	ZeroFills uint64 // frames zeroed on allocation
+	ZeroFills uint64 // frames actually zeroed on allocation
 }
 
 // New creates a physical memory of the given capacity in bytes, rounded
 // down to whole frames.
 func New(capacity uint64) *Phys {
 	n := int(capacity / PageSize)
-	p := &Phys{frames: make([]Frame, n), free: make([]PFN, 0, n)}
-	// Freelist in descending order so allocation hands out ascending PFNs,
-	// which makes tests and traces readable.
+	p := &Phys{
+		arena:  make([]byte, n*PageSize),
+		frames: make([]Frame, n),
+		free:   make([]PFN, 0, n),
+	}
+	// The freelist is kept sorted descending at all times, so Alloc (which
+	// pops from the end) always hands out the lowest free PFN. Allocation
+	// order is therefore a function of the free SET alone, never of release
+	// order — the property that makes a parallel scan pass's frame
+	// assignment bit-identical to a sequential one.
 	for i := n - 1; i >= 0; i-- {
 		p.free = append(p.free, PFN(i))
 	}
 	return p
 }
+
+// insertFree returns pfn to the freelist, preserving descending order.
+func (p *Phys) insertFree(pfn PFN) {
+	i := sort.Search(len(p.free), func(i int) bool { return p.free[i] < pfn })
+	p.free = append(p.free, 0)
+	copy(p.free[i+1:], p.free[i:])
+	p.free[i] = pfn
+}
+
+// SetCompareMode selects the comparison implementation for SamePage and
+// ComparePage. Both modes return identical (sign, bytes) results; the bench
+// suite switches to CompareByte to measure the legacy baseline.
+func (p *Phys) SetCompareMode(m CompareMode) { p.cmpMode = m }
 
 // TotalFrames reports the machine's frame count.
 func (p *Phys) TotalFrames() int { return len(p.frames) }
@@ -92,22 +147,23 @@ func (p *Phys) PeakFrames() int { return p.peak }
 // FreeFrames reports the number of frames available for allocation.
 func (p *Phys) FreeFrames() int { return len(p.free) }
 
-// Alloc hands out a zeroed frame with refcount 1.
-func (p *Phys) Alloc() (PFN, error) {
+// pageAt returns the frame's arena window. The three-index slice caps the
+// view at the frame boundary so an erroneous append can never spill into a
+// neighbouring frame's bytes.
+func (p *Phys) pageAt(pfn PFN) []byte {
+	base := int(pfn) * PageSize
+	return p.arena[base : base+PageSize : base+PageSize]
+}
+
+// take pops a frame off the freelist and marks it allocated (common body of
+// the Alloc variants; zeroing policy is the caller's).
+func (p *Phys) take() (PFN, error) {
 	if len(p.free) == 0 {
 		return 0, ErrOutOfMemory
 	}
 	pfn := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
 	f := &p.frames[pfn]
-	if f.data == nil {
-		f.data = make([]byte, PageSize)
-	} else {
-		for i := range f.data {
-			f.data[i] = 0
-		}
-	}
-	p.ZeroFills++
 	f.refs = 1
 	f.cow = false
 	p.allocated++
@@ -115,6 +171,39 @@ func (p *Phys) Alloc() (PFN, error) {
 		p.peak = p.allocated
 	}
 	p.Allocs++
+	return pfn, nil
+}
+
+// Alloc hands out a zeroed frame with refcount 1. Fresh frames come out of
+// the arena already zero; only recycled frames that were actually written
+// since are scrubbed, and ZeroFills counts exactly that real zeroing work.
+func (p *Phys) Alloc() (PFN, error) {
+	pfn, err := p.take()
+	if err != nil {
+		return 0, err
+	}
+	f := &p.frames[pfn]
+	if f.dirty {
+		pg := p.pageAt(pfn)
+		for i := range pg {
+			pg[i] = 0
+		}
+		f.dirty = false
+		p.ZeroFills++
+	}
+	return pfn, nil
+}
+
+// AllocForCopy hands out a frame with unspecified contents: the caller must
+// fully overwrite the page (CopyPage) before exposing it. CoW breaks use it
+// to skip the redundant zero-fill that Alloc would pay just before the copy.
+func (p *Phys) AllocForCopy() (PFN, error) {
+	pfn, err := p.take()
+	if err != nil {
+		return 0, err
+	}
+	// Whatever the caller writes, the frame no longer holds zeroes.
+	p.frames[pfn].dirty = true
 	return pfn, nil
 }
 
@@ -144,43 +233,102 @@ func (p *Phys) Allocated(pfn PFN) bool {
 func (p *Phys) IncRef(pfn PFN) { p.frame(pfn).refs++ }
 
 // DecRef drops a mapping reference; when the last reference is gone the
-// frame returns to the freelist.
+// frame returns to the freelist (or the pending list in deferred mode).
 func (p *Phys) DecRef(pfn PFN) {
 	f := p.frame(pfn)
 	f.refs--
-	if f.refs == 0 {
-		f.cow = false
+	if f.refs != 0 {
+		return
+	}
+	f.cow = false
+	// The page held guest data; the next zeroing Alloc must scrub it.
+	f.dirty = true
+	if p.deferFrees {
+		p.mu.Lock()
 		p.allocated--
 		p.Frees++
-		p.free = append(p.free, pfn)
+		p.pending = append(p.pending, pfn)
+		p.mu.Unlock()
+		return
 	}
+	p.allocated--
+	p.Frees++
+	p.insertFree(pfn)
+}
+
+// BeginDeferredFrees switches DecRef to park fully-released frames on a
+// pending list instead of the freelist. A parallel scan pass brackets its
+// workers with Begin/EndDeferredFrees so freelist order stays canonical.
+func (p *Phys) BeginDeferredFrees() { p.deferFrees = true }
+
+// EndDeferredFrees flushes pending frames to the freelist, restoring its
+// descending sorted order independent of the order workers released them.
+func (p *Phys) EndDeferredFrees() {
+	p.deferFrees = false
+	p.free = append(p.free, p.pending...)
+	sort.Slice(p.free, func(i, j int) bool { return p.free[i] > p.free[j] })
+	p.pending = p.pending[:0]
 }
 
 // SetCoW marks the frame write-protected (shared read-only).
 func (p *Phys) SetCoW(pfn PFN, cow bool) { p.frame(pfn).cow = cow }
 
-// Page returns the frame's backing bytes. Callers must treat CoW frames as
-// read-only; guest writes go through the hypervisor's fault path.
-func (p *Phys) Page(pfn PFN) []byte { return p.frame(pfn).data }
+// Page returns the frame's backing bytes: a window into the shared arena,
+// capped at the frame boundary. Callers must treat CoW frames as read-only;
+// guest writes go through the hypervisor's fault path.
+func (p *Phys) Page(pfn PFN) []byte {
+	p.frame(pfn)
+	return p.pageAt(pfn)
+}
 
 // ReadLine returns the i-th 64B line of the frame.
 func (p *Phys) ReadLine(pfn PFN, i int) []byte {
 	if i < 0 || i >= LinesPerPage {
 		panic(fmt.Sprintf("mem: line index %d out of range", i))
 	}
-	return p.frame(pfn).data[i*LineSize : (i+1)*LineSize]
+	return p.Page(pfn)[i*LineSize : (i+1)*LineSize]
 }
 
 // CopyPage copies the contents of frame src into frame dst.
 func (p *Phys) CopyPage(dst, src PFN) {
-	copy(p.frame(dst).data, p.frame(src).data)
+	p.frame(dst)
+	p.frame(src)
+	copy(p.pageAt(dst), p.pageAt(src))
 }
 
-// SamePage reports whether two frames have byte-identical contents, along
-// with the number of bytes that were compared before the verdict (the cost
-// a software comparator would pay: compare until first divergence).
-func (p *Phys) SamePage(a, b PFN) (bool, int) {
-	pa, pb := p.frame(a).data, p.frame(b).data
+// samePages reports content equality and the bytes examined until the first
+// divergence, word-at-a-time with a byte count identical to the byte loop.
+func samePages(pa, pb []byte) (bool, int) {
+	for off := 0; off < PageSize; off += 8 {
+		wa := binary.LittleEndian.Uint64(pa[off : off+8])
+		wb := binary.LittleEndian.Uint64(pb[off : off+8])
+		if wa != wb {
+			// Little-endian load: the lowest differing byte of the word is
+			// the first differing byte of the page.
+			return false, off + bits.TrailingZeros64(wa^wb)/8 + 1
+		}
+	}
+	return true, PageSize
+}
+
+// comparePages is the word-at-a-time three-way comparison: same traversal
+// as samePages, with the memcmp sign taken from the first differing byte.
+func comparePages(pa, pb []byte) (int, int) {
+	for off := 0; off < PageSize; off += 8 {
+		wa := binary.LittleEndian.Uint64(pa[off : off+8])
+		wb := binary.LittleEndian.Uint64(pb[off : off+8])
+		if wa != wb {
+			i := off + bits.TrailingZeros64(wa^wb)/8
+			if pa[i] < pb[i] {
+				return -1, i + 1
+			}
+			return 1, i + 1
+		}
+	}
+	return 0, PageSize
+}
+
+func samePagesByte(pa, pb []byte) (bool, int) {
 	for i := 0; i < PageSize; i++ {
 		if pa[i] != pb[i] {
 			return false, i + 1
@@ -189,11 +337,7 @@ func (p *Phys) SamePage(a, b PFN) (bool, int) {
 	return true, PageSize
 }
 
-// ComparePage is a three-way byte-wise content comparison (memcmp order),
-// returning <0, 0, >0 and the number of bytes examined. Content-indexed
-// tree search uses the sign to branch left or right.
-func (p *Phys) ComparePage(a, b PFN) (int, int) {
-	pa, pb := p.frame(a).data, p.frame(b).data
+func comparePagesByte(pa, pb []byte) (int, int) {
 	for i := 0; i < PageSize; i++ {
 		if pa[i] != pb[i] {
 			if pa[i] < pb[i] {
@@ -203,6 +347,46 @@ func (p *Phys) ComparePage(a, b PFN) (int, int) {
 		}
 	}
 	return 0, PageSize
+}
+
+// SamePage reports whether two frames have byte-identical contents, along
+// with the number of bytes that were compared before the verdict (the cost
+// a software comparator would pay: compare until first divergence).
+func (p *Phys) SamePage(a, b PFN) (bool, int) {
+	pa, pb := p.Page(a), p.Page(b)
+	if p.cmpMode == CompareByte {
+		return samePagesByte(pa, pb)
+	}
+	return samePages(pa, pb)
+}
+
+// ComparePage is a three-way content comparison (memcmp order), returning
+// <0, 0, >0 and the number of bytes examined. Content-indexed tree search
+// uses the sign to branch left or right.
+func (p *Phys) ComparePage(a, b PFN) (int, int) {
+	pa, pb := p.Page(a), p.Page(b)
+	if p.cmpMode == CompareByte {
+		return comparePagesByte(pa, pb)
+	}
+	return comparePages(pa, pb)
+}
+
+// FirstNonZero scans b for its first nonzero byte word-at-a-time, returning
+// its index or -1 when b is all zeroes. The byte index matches what a
+// byte-wise scan would report, so zero-check cost accounting is unchanged.
+func FirstNonZero(b []byte) int {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		if w := binary.LittleEndian.Uint64(b[i : i+8]); w != 0 {
+			return i + bits.TrailingZeros64(w)/8
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] != 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 // ContentKey is a 64-bit FNV-1a digest of the frame's full contents, used
@@ -215,7 +399,7 @@ func (p *Phys) ContentKey(pfn PFN) uint64 {
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for _, b := range p.frame(pfn).data {
+	for _, b := range p.Page(pfn) {
 		h = (h ^ uint64(b)) * prime64
 	}
 	return h
@@ -223,10 +407,5 @@ func (p *Phys) ContentKey(pfn PFN) uint64 {
 
 // IsZero reports whether the frame is all zeroes.
 func (p *Phys) IsZero(pfn PFN) bool {
-	for _, b := range p.frame(pfn).data {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
+	return FirstNonZero(p.Page(pfn)) < 0
 }

@@ -235,3 +235,93 @@ func BenchmarkHistogramAdd(b *testing.B) {
 		h.Add(float64(20 + i%600))
 	}
 }
+
+// TestQuantileEdgeCases pins the boundary behaviour of Quantile against the
+// sort-based reference where the reference is defined, and against the
+// documented contract (clamped to [Min, Max], monotone in q) where the
+// reference's total order breaks down (NaN inputs).
+func TestQuantileEdgeCases(t *testing.T) {
+	qs := []float64{-1, 0, 0.001, 0.25, 0.5, 0.75, 0.999, 1, 2}
+
+	t.Run("empty", func(t *testing.T) {
+		h := NewHistogram()
+		for _, q := range qs {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single-sample", func(t *testing.T) {
+		for _, v := range []float64{0, 1e-9, 3.7, 1e12} {
+			h := NewHistogram()
+			h.Add(v)
+			for _, q := range qs {
+				if got, want := h.Quantile(q), exactQuantile([]float64{v}, q); got != want {
+					t.Errorf("single(%g) Quantile(%g) = %g, want %g", v, q, got, want)
+				}
+			}
+		}
+	})
+
+	t.Run("extremes-are-exact-min-max", func(t *testing.T) {
+		h := NewHistogram()
+		xs := []float64{5, 0.2, 19, 7, 0.9, 300}
+		for _, x := range xs {
+			h.Add(x)
+		}
+		for _, q := range []float64{-3, 0} {
+			if got := h.Quantile(q); got != exactQuantile(xs, q) || got != h.Min() {
+				t.Errorf("Quantile(%g) = %g, want exact min %g", q, got, h.Min())
+			}
+		}
+		for _, q := range []float64{1, 1.5} {
+			if got := h.Quantile(q); got != exactQuantile(xs, q) || got != h.Max() {
+				t.Errorf("Quantile(%g) = %g, want exact max %g", q, got, h.Max())
+			}
+		}
+	})
+
+	t.Run("zero-mass", func(t *testing.T) {
+		// Half the stream is exactly zero: quantiles inside the zero mass
+		// must report 0 exactly, matching the reference.
+		h := NewHistogram()
+		var xs []float64
+		for i := 0; i < 50; i++ {
+			xs = append(xs, 0, float64(i+1))
+		}
+		for _, x := range xs {
+			h.Add(x)
+		}
+		for _, q := range []float64{0.1, 0.3, 0.5} {
+			if got, want := h.Quantile(q), exactQuantile(xs, q); got != want {
+				t.Errorf("zero-mass Quantile(%g) = %g, want %g", q, got, want)
+			}
+		}
+	})
+
+	t.Run("negative-and-nan-fold", func(t *testing.T) {
+		// Negative and NaN observations fold into the zero bucket. A total
+		// order over the inputs no longer exists, so the contract is the
+		// documented one: results stay within [Min, Max] (when those are
+		// well-defined) and are monotone in q.
+		h := NewHistogram()
+		for _, x := range []float64{4, -2, 1, math.NaN(), 9, -7} {
+			h.Add(x)
+		}
+		if h.Min() != -7 || h.Max() != 9 {
+			t.Fatalf("min/max = %g/%g, want -7/9", h.Min(), h.Max())
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+			got := h.Quantile(q)
+			if math.IsNaN(got) || got < h.Min() || got > h.Max() {
+				t.Fatalf("Quantile(%g) = %g escapes [%g, %g]", q, got, h.Min(), h.Max())
+			}
+			if got < prev {
+				t.Fatalf("Quantile not monotone: q=%g gives %g after %g", q, got, prev)
+			}
+			prev = got
+		}
+	})
+}

@@ -348,7 +348,7 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 
 	// Stable-tree search in hardware; the ECC hash key is generated in the
 	// background during this search.
-	res, notFound := d.searchTree(pfn, a.Stable.Root(), now, first, true)
+	res, notFound := d.searchTree(pfn, a.Stable.For(pfn).Root(), now, first, true)
 	now = res.now
 	if res.fault {
 		merged, t := d.faultFallback(id, pfn, true, now)
@@ -383,7 +383,7 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 	}
 
 	// Unstable-tree search in hardware.
-	res, notFound = d.searchTree(pfn, a.Unstable.Root(), now, false, false)
+	res, notFound = d.searchTree(pfn, a.Unstable.For(pfn).Root(), now, false, false)
 	now = res.now
 	if res.fault {
 		merged, t := d.faultFallback(id, pfn, false, now)

@@ -56,6 +56,18 @@ type Config struct {
 	SleepMillis float64
 	PagesToScan int
 
+	// ShardBits selects 2^ShardBits content-prefix shards for the KSM
+	// stable/unstable trees (0 = single tree pair, classic KSM — the
+	// default, bit-identical to pre-sharding builds).
+	ShardBits int
+	// ShardWorkers, when > 0, runs KSM convergence passes through
+	// Scanner.ScanPass with that many workers fanning out across shards.
+	// Results are bit-identical at any worker count, including 1; 0 keeps
+	// the legacy sequential candidate loop. The measurement phase always
+	// scans sequentially (its batches interleave with application traffic
+	// in simulated time).
+	ShardWorkers int
+
 	KSMCosts ksm.Costs
 	Driver   pageforge.DriverConfig
 	Hier     cache.HierarchyConfig
@@ -316,13 +328,13 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	switch mode {
 	case Baseline:
 	case KSM:
-		scanner = ksm.NewScanner(ksm.NewAlgorithm(img.HV, ksm.JHasher{}), cfg.KSMCosts)
+		scanner = ksm.NewScanner(ksm.NewAlgorithmSharded(img.HV, ksm.JHasher{}, cfg.ShardBits), cfg.KSMCosts)
 		scanner.Trace = sc
 		scanner.TraceNow = func() uint64 { return clock }
 	case PageForge:
 		engine := pageforge.NewEngine(pump)
 		engine.Trace = sc
-		driver = pageforge.NewDriver(ksm.NewAlgorithm(img.HV, ksm.NewECCHasher()), engine, cfg.Driver)
+		driver = pageforge.NewDriver(ksm.NewAlgorithmSharded(img.HV, ksm.NewECCHasher(), cfg.ShardBits), engine, cfg.Driver)
 		driver.Trace = sc
 	}
 
@@ -528,9 +540,14 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 	for p := 0; p < cfg.ConvergePasses; p++ {
 		pages := alg.MergeablePages()
 		if scanner != nil {
-			for i := 0; i < pages; i++ {
-				scanner.ScanOne()
-				candidates++
+			if cfg.ShardWorkers > 0 {
+				res := scanner.ScanPass(cfg.ShardWorkers)
+				candidates += uint64(res.Scanned)
+			} else {
+				for i := 0; i < pages; i++ {
+					scanner.ScanOne()
+					candidates++
+				}
 			}
 		} else {
 			for i := 0; i < pages; i++ {

@@ -1,0 +1,62 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardedWorkerCountBitIdentical pins the tentpole invariant at the
+// platform level: a KSM run whose convergence passes fan out across a
+// worker pool must produce Results bit-identical to the same configuration
+// with one worker. Run with -race to also certify the fan-out is clean.
+func TestShardedWorkerCountBitIdentical(t *testing.T) {
+	app := fastApp("img_dnn")
+	base := fastConfig()
+	base.ShardBits = 3
+
+	cfg1 := base
+	cfg1.ShardWorkers = 1
+	one, err := Run(KSM, app, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg4 := base
+	cfg4.ShardWorkers = 4
+	four, err := Run(KSM, app, cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("worker count changed results:\n1 worker: %+v\n4 workers: %+v", one, four)
+	}
+	if one.Footprint.Savings() <= 0 {
+		t.Fatal("sharded KSM run produced no savings — nothing was exercised")
+	}
+}
+
+// TestShardedMatchesMetricsOfSequential checks that turning sharding on
+// with a single shard and one worker reproduces the classic sequential
+// configuration's KSM scan metrics exactly (the degenerate path).
+func TestShardedMatchesMetricsOfSequential(t *testing.T) {
+	app := fastApp("silo")
+	legacy, err := Run(KSM, app, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.ShardBits = 0
+	cfg.ShardWorkers = 1 // parallel code path, single shard
+	sharded, err := Run(KSM, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ksm/bytes_touched", "ksm/dram_bytes", "ksm/pages_scanned"} {
+		if legacy.Metrics.Counters[key] != sharded.Metrics.Counters[key] {
+			t.Errorf("%s: legacy %d, sharded %d", key,
+				legacy.Metrics.Counters[key], sharded.Metrics.Counters[key])
+		}
+	}
+	if legacy.Footprint != sharded.Footprint {
+		t.Fatalf("footprint diverged: %+v vs %+v", legacy.Footprint, sharded.Footprint)
+	}
+}

@@ -22,8 +22,15 @@ type Node struct {
 	Item interface{} // caller payload (KSM attaches its rmap item here)
 
 	left, right, parent *Node
+	owner               *Tree // the tree (shard) the node was inserted into
 	red                 bool
 }
+
+// Owner reports the tree the node currently belongs to (nil after Delete).
+// Sharded deletion dispatches on it instead of re-routing by content, which
+// matters for unstable nodes: their pages are not write-protected, so the
+// content a route would read may have changed since insertion.
+func (n *Node) Owner() *Tree { return n.owner }
 
 // Left returns the left child (nil at a leaf).
 func (n *Node) Left() *Node { return n.left }
@@ -105,7 +112,7 @@ func (t *Tree) InsertOrGet(pfn mem.PFN, item interface{}) (*Node, bool) {
 			return parent, false
 		}
 	}
-	n := &Node{PFN: pfn, Item: item, parent: parent, red: true}
+	n := &Node{PFN: pfn, Item: item, parent: parent, owner: t, red: true}
 	*link = n
 	t.size++
 	t.insertFixup(n)
@@ -126,7 +133,7 @@ func (t *Tree) Insert(pfn mem.PFN, item interface{}) *Node {
 			link = &parent.right
 		}
 	}
-	n := &Node{PFN: pfn, Item: item, parent: parent, red: true}
+	n := &Node{PFN: pfn, Item: item, parent: parent, owner: t, red: true}
 	*link = n
 	t.size++
 	t.insertFixup(n)
@@ -275,7 +282,7 @@ func (t *Tree) Delete(z *Node) {
 	if !yWasRed {
 		t.deleteFixup(x, xParent)
 	}
-	z.left, z.right, z.parent = nil, nil, nil
+	z.left, z.right, z.parent, z.owner = nil, nil, nil, nil
 }
 
 func (t *Tree) deleteFixup(x, parent *Node) {

@@ -1,0 +1,169 @@
+package rbtree
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// RouteFunc maps a frame to its shard index by inspecting page content.
+// Routing must be a function of content alone (equal pages route equally)
+// and must respect memcmp order: if page a < page b then route(a) <=
+// route(b). A content-prefix route (top bits of the first bytes) satisfies
+// both, which keeps the concatenation of shard in-order walks globally
+// sorted.
+type RouteFunc func(mem.PFN) int
+
+// Sharded is a set of content-disjoint trees indexed by a content-prefix
+// route. With one shard it degenerates to a plain tree (same shapes, same
+// comparison counts); with 2^k shards a scan pass can fan out across
+// independent trees because equal-content pages — the only pages a merge
+// ever relates — always land in the same shard.
+type Sharded struct {
+	shards []*Tree
+	route  RouteFunc
+}
+
+// NewSharded builds n trees with mk (which may capture the shard index for
+// per-shard instrumentation) and routes operations with route.
+func NewSharded(n int, route RouteFunc, mk func(shard int) *Tree) *Sharded {
+	if n < 1 {
+		panic("rbtree: NewSharded needs at least one shard")
+	}
+	s := &Sharded{shards: make([]*Tree, n), route: route}
+	for i := range s.shards {
+		s.shards[i] = mk(i)
+	}
+	return s
+}
+
+// NumShards reports the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns the i-th tree.
+func (s *Sharded) Shard(i int) *Tree { return s.shards[i] }
+
+// ShardIndex reports which shard the frame's current content routes to.
+func (s *Sharded) ShardIndex(pfn mem.PFN) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	i := s.route(pfn)
+	if i < 0 || i >= len(s.shards) {
+		panic(fmt.Sprintf("rbtree: route(%d) = %d out of range (%d shards)", pfn, i, len(s.shards)))
+	}
+	return i
+}
+
+// For returns the tree the frame's content routes to.
+func (s *Sharded) For(pfn mem.PFN) *Tree { return s.shards[s.ShardIndex(pfn)] }
+
+// Lookup finds a content-equal node in the frame's shard, or nil.
+func (s *Sharded) Lookup(pfn mem.PFN) *Node { return s.For(pfn).Lookup(pfn) }
+
+// InsertOrGet searches the frame's shard, inserting on miss.
+func (s *Sharded) InsertOrGet(pfn mem.PFN, item interface{}) (*Node, bool) {
+	return s.For(pfn).InsertOrGet(pfn, item)
+}
+
+// Insert adds a node for pfn to its content shard.
+func (s *Sharded) Insert(pfn mem.PFN, item interface{}) *Node {
+	return s.For(pfn).Insert(pfn, item)
+}
+
+// Delete removes the node from whichever shard holds it. Dispatch is by the
+// node's recorded owner, never by re-routing: an unstable node's page is
+// not write-protected, so its content (and hence its route) may have
+// changed since insertion.
+func (s *Sharded) Delete(n *Node) {
+	if n == nil || n.owner == nil {
+		panic("rbtree: Sharded.Delete of nil or unowned node")
+	}
+	n.owner.Delete(n)
+}
+
+// Reset discards all nodes of every shard.
+func (s *Sharded) Reset() {
+	for _, t := range s.shards {
+		t.Reset()
+	}
+}
+
+// Size reports the total node count across shards.
+func (s *Sharded) Size() int {
+	n := 0
+	for _, t := range s.shards {
+		n += t.Size()
+	}
+	return n
+}
+
+// Comparisons sums the per-shard comparison counters.
+func (s *Sharded) Comparisons() uint64 {
+	var n uint64
+	for _, t := range s.shards {
+		n += t.Comparisons
+	}
+	return n
+}
+
+// BytesCompared sums the per-shard bytes-examined counters.
+func (s *Sharded) BytesCompared() uint64 {
+	var n uint64
+	for _, t := range s.shards {
+		n += t.BytesCompared
+	}
+	return n
+}
+
+// InOrder visits all nodes in global content order: shard index order is
+// content-prefix order, and each shard walk is in-order.
+func (s *Sharded) InOrder(visit func(*Node) bool) {
+	for _, t := range s.shards {
+		stopped := false
+		t.InOrder(func(n *Node) bool {
+			if !visit(n) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// CheckInvariants validates every shard's red-black and ordering
+// properties, plus the cross-shard ordering: the last node of shard i must
+// not exceed the first node of any later shard.
+func (s *Sharded) CheckInvariants() error {
+	for i, t := range s.shards {
+		if err := t.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	var prev *Node
+	prevShard := -1
+	for i, t := range s.shards {
+		var first, last *Node
+		t.InOrder(func(n *Node) bool {
+			if first == nil {
+				first = n
+			}
+			last = n
+			return true
+		})
+		if first == nil {
+			continue
+		}
+		if prev != nil {
+			if c, _ := t.cmp(prev.PFN, first.PFN); c > 0 {
+				return fmt.Errorf("rbtree: cross-shard order violation between shard %d (pfn %d) and shard %d (pfn %d)",
+					prevShard, prev.PFN, i, first.PFN)
+			}
+		}
+		prev, prevShard = last, i
+	}
+	return nil
+}

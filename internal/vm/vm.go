@@ -8,6 +8,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mem"
 )
@@ -59,7 +60,10 @@ type Hypervisor struct {
 
 	// rmap maps each shared-or-shareable frame to every guest page mapping
 	// it. It is the reverse mapping KSM needs to write-protect all sharers.
-	rmap map[mem.PFN][]PageID
+	// Indexed by PFN (not a map) so that sharded scan workers, which only
+	// ever touch frames of their own content shard, mutate disjoint
+	// elements without a shared map header to race on.
+	rmap [][]PageID
 
 	// Merges counts successful page merges; Unmerges counts CoW breaks of
 	// merged frames.
@@ -75,9 +79,10 @@ type Hypervisor struct {
 
 // NewHypervisor creates a hypervisor with the given physical capacity.
 func NewHypervisor(physBytes uint64) *Hypervisor {
+	p := mem.New(physBytes)
 	return &Hypervisor{
-		Phys: mem.New(physBytes),
-		rmap: make(map[mem.PFN][]PageID),
+		Phys: p,
+		rmap: make([][]PageID, p.TotalFrames()),
 	}
 }
 
@@ -208,7 +213,9 @@ func (v *VM) breakCoW(g GFN, e *mapping) error {
 		v.hv.Unmerges++
 		return nil
 	}
-	fresh, err := v.hv.Phys.Alloc()
+	// The fresh frame is fully overwritten by the copy, so skip the
+	// zero-fill a plain Alloc would pay (and would miscount as demand-zero).
+	fresh, err := v.hv.Phys.AllocForCopy()
 	if err != nil {
 		return err
 	}
@@ -244,9 +251,6 @@ func (h *Hypervisor) rmapRemove(pfn mem.PFN, id PageID) {
 		if r == id {
 			refs[i] = refs[len(refs)-1]
 			h.rmap[pfn] = refs[:len(refs)-1]
-			if len(h.rmap[pfn]) == 0 {
-				delete(h.rmap, pfn)
-			}
 			return
 		}
 	}
@@ -325,7 +329,9 @@ func (h *Hypervisor) Merge(candidate PageID, dst mem.PFN) (int, error) {
 	e.writeProt = true
 	h.Phys.IncRef(dst)
 	h.rmapAdd(dst, candidate)
-	h.Merges++
+	// Atomic: sharded scan workers merge concurrently (only ever into
+	// frames of their own content shard); the sum is order-independent.
+	atomic.AddUint64(&h.Merges, 1)
 	return n, nil
 }
 
@@ -333,12 +339,11 @@ func (h *Hypervisor) Merge(candidate PageID, dst mem.PFN) (int, error) {
 // total number of guest pages mapping them; the difference is the paper's
 // "memory savings" in pages.
 func (h *Hypervisor) SharedFrames() (frames, mappers int) {
-	for pfn, ids := range h.rmap {
+	for _, ids := range h.rmap {
 		if len(ids) > 1 {
 			frames++
 			mappers += len(ids)
 		}
-		_ = pfn
 	}
 	return frames, mappers
 }

@@ -37,6 +37,7 @@ func Shrink(sc Scenario, fails func(Scenario) bool, maxProbes int) (Scenario, in
 			func(c *Scenario) { c.VolatileFrac = 0 },
 			func(c *Scenario) { c.ZeroFrac = 0 },
 			func(c *Scenario) { c.MeasureIntervals = 0 },
+			func(c *Scenario) { c.ShardBits, c.ShardWorkers = 0, 0 },
 		} {
 			cand := sc
 			move(&cand)

@@ -37,6 +37,13 @@ type Scenario struct {
 	MeasureIntervals int
 	PagesToScan      int
 
+	// Dedup-index sharding: 2^ShardBits content shards, and the worker
+	// count for parallel convergence passes (0/0 = classic sequential KSM).
+	// Sharded-parallel runs must stay bit-identical to sequential ones, so
+	// the generator draws these freely.
+	ShardBits    int
+	ShardWorkers int
+
 	// FaultRate is the uncorrectable-upset probability per line read
 	// (0 = fault-free; also scales correctable transients and stuck words,
 	// mirroring the RAS experiment's population).
@@ -63,6 +70,10 @@ func Generate(seed uint64) Scenario {
 	}
 	if rng.Bool(0.4) {
 		sc.VolatileFrac = 0.3 * rng.Float64()
+	}
+	if rng.Bool(0.5) {
+		sc.ShardBits = 1 + rng.Intn(3)    // 2..8 shards
+		sc.ShardWorkers = 1 + rng.Intn(4) // 1..4 workers
 	}
 	if rng.Bool(0.5) {
 		// Log-uniform over [1e-4, 1e-1]: most draws are rare-fault regimes,
@@ -107,6 +118,8 @@ func (s Scenario) Config() platform.Config {
 	cfg.ConvergePasses = s.ConvergePasses
 	cfg.MeasureIntervals = s.MeasureIntervals
 	cfg.PagesToScan = s.PagesToScan
+	cfg.ShardBits = s.ShardBits
+	cfg.ShardWorkers = s.ShardWorkers
 	cfg.Seed = s.Seed
 	if s.FaultRate > 0 {
 		// Same population shape as the RAS experiment: correctable
@@ -126,7 +139,8 @@ func (s Scenario) Config() platform.Config {
 
 // String renders the scenario compactly for progress and failure reports.
 func (s Scenario) String() string {
-	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d fault=%.2g",
+	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d shards=%d workers=%d fault=%.2g",
 		s.Seed, s.VMs, s.PagesPerVM, s.DupFrac, s.DupCopies, s.ZeroFrac,
-		s.VolatileFrac, s.ConvergePasses, s.MeasureIntervals, s.PagesToScan, s.FaultRate)
+		s.VolatileFrac, s.ConvergePasses, s.MeasureIntervals, s.PagesToScan,
+		1<<s.ShardBits, s.ShardWorkers, s.FaultRate)
 }
