@@ -35,6 +35,8 @@ perfcheck:
 smoke:
 	$(GO) run ./cmd/pageforge run -exp table4 -fast -quiet -json -apps img_dnn,silo \
 		| jq -e '.experiments.table4.Rows | length > 0' > /dev/null
+	$(GO) run ./cmd/pageforge run -exp pressure -fast -quiet -json \
+		| jq -e '.experiments.pressure.Rows | map(select(.Ratio >= 1.5)) | all(.Recovered) and length > 0' > /dev/null
 	@echo smoke OK
 
 # fuzz gives the ECC decoder and page-key contracts a short native-fuzzing

@@ -632,7 +632,9 @@ func BenchmarkDifferenceEngine(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		img.AddSimilarity(0.5)
+		if err := img.AddSimilarity(0.5); err != nil {
+			b.Fatal(err)
+		}
 		return img
 	}
 	b.Run("ksm-only", func(b *testing.B) {

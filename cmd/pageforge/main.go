@@ -3,8 +3,8 @@
 // Usage:
 //
 //	pageforge list
-//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify]
-//	              [-apps img_dnn,silo,...] [-fast] [-seed N] [-fault-rate r1,r2,...] [-verify-n N]
+//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure]
+//	              [-apps img_dnn,silo,...] [-fast] [-seed N] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...]
 //	              [-json] [-trace file] [-metrics file]
 //	              [-cpuprofile file] [-memprofile file] [-pprof addr]
 //	pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
@@ -62,7 +62,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pageforge list
-  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N]
+  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...]
                 [-json] [-trace file] [-metrics file] [-cpuprofile file] [-memprofile file] [-pprof addr]
   pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
   pageforge perfcheck [-baseline BENCH_suite.json] [-tol 0.10]
@@ -128,6 +128,7 @@ func list() {
 		{"timeline", "Extension: savings convergence ramp, KSM vs PageForge"},
 		{"ras", "Extension: DRAM fault rate vs merge coverage, scrub/retry overhead, degradation"},
 		{"verify", "Model-based verification: randomized scenarios, invariant checker, KSM≡PageForge differential"},
+		{"pressure", "Robustness: overcommit storm vs graceful OOM, ballooning, backpressure, degradation ladder"},
 	} {
 		fmt.Printf("  %-7s %s\n", e[0], e[1])
 	}
@@ -151,6 +152,7 @@ func run(args []string) {
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
 	faultRates := fs.String("fault-rate", "", "comma-separated UE-per-read rates for the ras experiment (default sweep when empty)")
 	verifyN := fs.Int("verify-n", experiments.DefaultVerifyScenarios, "randomized scenario count for the verify experiment")
+	overcommit := fs.String("overcommit", "", "comma-separated demand/capacity ratios for the pressure experiment (default sweep when empty)")
 	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON document on stdout instead of text tables")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file of the simulation runs (Perfetto-loadable)")
 	metricsFile := fs.String("metrics", "", "write every run's full metrics snapshot (counters, gauges, histograms) as JSON")
@@ -165,17 +167,23 @@ func run(args []string) {
 		os.Exit(1)
 	}
 
-	var rates []float64
-	if *faultRates != "" {
-		for _, tok := range strings.Split(*faultRates, ",") {
+	parseFloats := func(flagName, s string) []float64 {
+		var out []float64
+		if s == "" {
+			return out
+		}
+		for _, tok := range strings.Split(s, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "bad -fault-rate %q: %v\n", tok, err)
+				fmt.Fprintf(os.Stderr, "bad %s %q: %v\n", flagName, tok, err)
 				os.Exit(2)
 			}
-			rates = append(rates, v)
+			out = append(out, v)
 		}
+		return out
 	}
+	rates := parseFloats("-fault-rate", *faultRates)
+	ratios := parseFloats("-overcommit", *overcommit)
 
 	var suite *experiments.Suite
 	if *fast {
@@ -356,6 +364,13 @@ func run(args []string) {
 			fail(err)
 		} else {
 			emit("verify", r)
+		}
+	}
+	if want("pressure") {
+		if r, err := pageforgesim.PressureExperiment(suite, ratios); err != nil {
+			fail(err)
+		} else {
+			emit("pressure", r)
 		}
 	}
 	if progress != nil && len(modeSet) > 0 {

@@ -47,8 +47,12 @@ func main() {
 	// Half of each image's unique pages are per-VM *variants* of common
 	// contents — invisible to page-granularity merging, food for the
 	// Difference Engine.
-	imgA.AddSimilarity(0.5)
-	imgB.AddSimilarity(0.5)
+	if err := imgA.AddSimilarity(0.5); err != nil {
+		log.Fatal(err)
+	}
+	if err := imgB.AddSimilarity(0.5); err != nil {
+		log.Fatal(err)
+	}
 	pool := pageforgesim.NewHypervisor(8 * pagesPerVM * 3 * 4096)
 	var kinds []string
 	copyIn := func(src *pageforgesim.Hypervisor, id int, kind string) {

@@ -50,6 +50,7 @@ func (m *Model) Attach(hv *vm.Hypervisor) {
 		}
 	}
 	hv.OnWrite = m.observe
+	hv.OnRelease = m.observeRelease
 }
 
 // observe applies one guest write to the shadow. It runs on the
@@ -61,6 +62,24 @@ func (m *Model) observe(id vm.PageID, off int, data []byte) {
 		m.shadow[id] = page
 	}
 	copy(page[off:], data)
+	m.dirty[id] = true
+}
+
+// observeRelease applies one guest page release (balloon inflation, burst
+// teardown) to the shadow: a released page that is later re-touched
+// zero-fill faults, so its reference contents are zeros. The page is marked
+// dirty — when it is reclaimed is engine-timing dependent, so its contents
+// are not comparable across modes.
+func (m *Model) observeRelease(id vm.PageID) {
+	page := m.shadow[id]
+	if page == nil {
+		page = make([]byte, mem.PageSize)
+		m.shadow[id] = page
+	} else {
+		for i := range page {
+			page[i] = 0
+		}
+	}
 	m.dirty[id] = true
 }
 

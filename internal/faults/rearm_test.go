@@ -1,0 +1,132 @@
+package faults
+
+import "testing"
+
+// TestRateTrackerRearmHysteresis drives the tracker through scripted
+// window sequences and pins the re-arm policy: a tripped tracker clears
+// only after ClearWindows consecutive windows below ClearRate, and any
+// intervening window at or above ClearRate resets the streak.
+func TestRateTrackerRearmHysteresis(t *testing.T) {
+	// Each step feeds one 1000-fetch window with the given UE count and
+	// asserts the tracker's degraded state afterwards. Alpha=1 makes each
+	// window's raw rate the estimate, so scripts read directly as rates.
+	type step struct {
+		ues      uint64
+		degraded bool
+	}
+	cases := []struct {
+		name         string
+		clearWindows int
+		steps        []step
+	}{
+		{
+			name:         "clears after exactly K clean windows",
+			clearWindows: 3,
+			steps: []step{
+				{100, true},          // 10%: trips
+				{0, true}, {0, true}, // streak 1, 2
+				{0, false}, // streak 3: re-arms
+			},
+		},
+		{
+			name:         "dirty window resets the streak",
+			clearWindows: 3,
+			steps: []step{
+				{100, true},
+				{0, true}, {0, true}, // streak 2
+				{5, true},            // 0.5%: inside hysteresis band, streak resets
+				{0, true}, {0, true}, // fresh streak 1, 2
+				{0, false}, // fresh streak 3: re-arms
+			},
+		},
+		{
+			name:         "single-window policy still available",
+			clearWindows: 1,
+			steps: []step{
+				{100, true},
+				{0, false},
+			},
+		},
+		{
+			name:         "re-trip after recovery starts a new cycle",
+			clearWindows: 2,
+			steps: []step{
+				{100, true},
+				{0, true}, {0, false}, // recovered
+				{100, true},           // trips again
+				{0, true}, {0, false}, // recovers again
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewRateTracker(Trip{
+				TripRate: 0.01, ClearRate: 0.001, Alpha: 1,
+				MinFetches: 100, ClearWindows: tc.clearWindows,
+			})
+			var fetches, ues uint64
+			for i, s := range tc.steps {
+				fetches += 1000
+				ues += s.ues
+				tr.Observe(fetches, ues, uint64(i))
+				if tr.Degraded() != s.degraded {
+					t.Fatalf("step %d: degraded = %v, want %v", i, tr.Degraded(), s.degraded)
+				}
+			}
+		})
+	}
+}
+
+// TestRateTrackerRecoveryCounters pins the recovery bookkeeping: each full
+// trip → re-arm cycle increments Recoveries and stamps RecoveredAt with
+// the clearing observation's stamp.
+func TestRateTrackerRecoveryCounters(t *testing.T) {
+	tr := NewRateTracker(Trip{TripRate: 0.01, ClearRate: 0.001, Alpha: 1, MinFetches: 100, ClearWindows: 2})
+	var fetches, ues uint64
+	feed := func(n uint64, stamp uint64) {
+		fetches += 1000
+		ues += n
+		tr.Observe(fetches, ues, stamp)
+	}
+	feed(100, 1) // trip
+	feed(0, 2)
+	feed(0, 3) // re-arm at stamp 3
+	if tr.Recoveries() != 1 || tr.RecoveredAt() != 3 {
+		t.Fatalf("recoveries=%d recoveredAt=%d, want 1 at 3", tr.Recoveries(), tr.RecoveredAt())
+	}
+	feed(100, 4) // second trip
+	if tr.TrippedAt() != 4 {
+		t.Fatalf("trippedAt=%d, want 4", tr.TrippedAt())
+	}
+	feed(0, 5)
+	feed(0, 6)
+	if tr.Recoveries() != 2 || tr.RecoveredAt() != 6 {
+		t.Fatalf("recoveries=%d recoveredAt=%d, want 2 at 6", tr.Recoveries(), tr.RecoveredAt())
+	}
+}
+
+// TestDefaultTripClearWindows pins the default policy and the zero-value
+// back-fill in NewRateTracker.
+func TestDefaultTripClearWindows(t *testing.T) {
+	if DefaultTrip().ClearWindows != 3 {
+		t.Fatalf("DefaultTrip().ClearWindows = %d, want 3", DefaultTrip().ClearWindows)
+	}
+	// A policy that never specified ClearWindows must behave like K=3, not
+	// K=0 (which would re-arm instantly).
+	tr := NewRateTracker(Trip{TripRate: 0.01, ClearRate: 0.001, Alpha: 1, MinFetches: 100})
+	var fetches, ues uint64
+	fetches, ues = 1000, 100
+	tr.Observe(fetches, ues, 0)
+	for i := 0; i < 2; i++ {
+		fetches += 1000
+		tr.Observe(fetches, ues, uint64(1+i))
+		if !tr.Degraded() {
+			t.Fatalf("re-armed after %d clean windows with defaulted ClearWindows", i+1)
+		}
+	}
+	fetches += 1000
+	tr.Observe(fetches, ues, 3)
+	if tr.Degraded() {
+		t.Fatal("did not re-arm after 3 clean windows")
+	}
+}

@@ -17,12 +17,19 @@ type Trip struct {
 	// MinFetches is the minimum number of new fetches a window must carry
 	// before it updates the estimate; tiny windows are noise.
 	MinFetches uint64
+	// ClearWindows is the number of consecutive observation windows the
+	// rate must stay below ClearRate before a tripped tracker re-arms; a
+	// single window above ClearRate resets the streak. One clean window is
+	// not evidence of health — a DIMM that tripped must prove itself over a
+	// sustained quiet period before the platform re-promotes the hardware
+	// engine. Zero takes the default.
+	ClearWindows int
 }
 
 // DefaultTrip degrades when more than ~1% of line fetches poison, and
-// re-arms only below 0.1%.
+// re-arms only after 3 consecutive windows below 0.1%.
 func DefaultTrip() Trip {
-	return Trip{TripRate: 0.01, ClearRate: 0.001, Alpha: 0.4, MinFetches: 256}
+	return Trip{TripRate: 0.01, ClearRate: 0.001, Alpha: 0.4, MinFetches: 256, ClearWindows: 3}
 }
 
 // RateTracker maintains an exponentially-weighted UE-rate estimate from
@@ -37,6 +44,10 @@ type RateTracker struct {
 	tripped     bool
 	trippedAt   uint64 // stamp of the observation that tripped
 	windows     uint64
+
+	clearStreak int    // consecutive windows below ClearRate while tripped
+	recoveries  uint64 // completed trip → re-arm cycles
+	recoveredAt uint64 // stamp of the most recent re-arm
 }
 
 // NewRateTracker builds a tracker; zero-valued Trip fields fall back to
@@ -54,6 +65,9 @@ func NewRateTracker(cfg Trip) *RateTracker {
 	}
 	if cfg.MinFetches == 0 {
 		cfg.MinFetches = def.MinFetches
+	}
+	if cfg.ClearWindows <= 0 {
+		cfg.ClearWindows = def.ClearWindows
 	}
 	return &RateTracker{cfg: cfg}
 }
@@ -80,10 +94,21 @@ func (t *RateTracker) Observe(fetchesCum, uesCum, stamp uint64) bool {
 	if !t.tripped && t.rate > t.cfg.TripRate {
 		t.tripped = true
 		t.trippedAt = stamp
+		t.clearStreak = 0
 		return true
 	}
-	if t.tripped && t.rate < t.cfg.ClearRate {
-		t.tripped = false
+	if t.tripped {
+		if t.rate < t.cfg.ClearRate {
+			t.clearStreak++
+			if t.clearStreak >= t.cfg.ClearWindows {
+				t.tripped = false
+				t.clearStreak = 0
+				t.recoveries++
+				t.recoveredAt = stamp
+			}
+		} else {
+			t.clearStreak = 0
+		}
 	}
 	return false
 }
@@ -100,3 +125,10 @@ func (t *RateTracker) TrippedAt() uint64 { return t.trippedAt }
 
 // Windows reports how many observation windows updated the estimate.
 func (t *RateTracker) Windows() uint64 { return t.windows }
+
+// Recoveries reports how many complete trip → re-arm cycles occurred.
+func (t *RateTracker) Recoveries() uint64 { return t.recoveries }
+
+// RecoveredAt reports the stamp of the most recent re-arm; valid only if
+// Recoveries() > 0.
+func (t *RateTracker) RecoveredAt() uint64 { return t.recoveredAt }

@@ -48,8 +48,14 @@ func PFNOf(a Addr) PFN { return PFN(a / PageSize) }
 // LineIndexOf reports the within-page line index of the address.
 func LineIndexOf(a Addr) int { return int(a % PageSize / LineSize) }
 
-// ErrOutOfMemory is returned by Alloc when no free frames remain.
-var ErrOutOfMemory = errors.New("mem: out of physical memory")
+// ErrOutOfFrames is returned by the Alloc variants when no free frames
+// remain. Exhaustion is an expected condition under overcommit — callers
+// (the hypervisor's fault and CoW-break paths) stall, reclaim, and retry
+// rather than treating it as fatal.
+var ErrOutOfFrames = errors.New("mem: out of physical frames")
+
+// ErrOutOfMemory is the historical name of ErrOutOfFrames.
+var ErrOutOfMemory = ErrOutOfFrames
 
 // Frame is the per-frame metadata the hypervisor tracks.
 type Frame struct {
@@ -97,9 +103,10 @@ type Phys struct {
 	pending    []PFN
 
 	// Statistics of interest to the evaluation.
-	Allocs    uint64 // total Alloc calls
-	Frees     uint64 // frames returned to the freelist
-	ZeroFills uint64 // frames actually zeroed on allocation
+	Allocs     uint64 // total successful Alloc calls
+	AllocFails uint64 // Alloc calls that found an empty freelist
+	Frees      uint64 // frames returned to the freelist
+	ZeroFills  uint64 // frames actually zeroed on allocation
 }
 
 // New creates a physical memory of the given capacity in bytes, rounded
@@ -159,7 +166,8 @@ func (p *Phys) pageAt(pfn PFN) []byte {
 // the Alloc variants; zeroing policy is the caller's).
 func (p *Phys) take() (PFN, error) {
 	if len(p.free) == 0 {
-		return 0, ErrOutOfMemory
+		p.AllocFails++
+		return 0, ErrOutOfFrames
 	}
 	pfn := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]

@@ -64,6 +64,12 @@ type measurement struct {
 	// patrol-scrub slice and UE-rate tracker observation).
 	onInterval func(start uint64)
 
+	// ps, when non-nil, is the armed pressure layer: it scales the
+	// per-interval scan budget (boost under frame pressure, shed under
+	// latency throttling), pauses scanning on the ladder's bottom rung, and
+	// receives one observation window per interval.
+	ps *pressureState
+
 	// verify, when set, runs after each completed interval (post-churn); a
 	// non-nil error aborts the measurement.
 	verify func(k int) error
@@ -185,11 +191,30 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error 
 		em := m.newEmitter(start, interval, measuring)
 		end := start + interval
 
+		// Pressure backpressure: the controller pulls the page budget up
+		// when free frames are scarce (merging is reclaim) and sheds it when
+		// demand-path tail latency degrades; the ladder's bottom rung stops
+		// scanning entirely. With the layer off, budget is exactly
+		// PagesToScan and the interval is bit-identical to older builds.
+		budget := m.cfg.PagesToScan
+		paused := false
+		if m.ps != nil {
+			budget = m.ps.ctl.ScanBudget(budget)
+			paused = m.ps.paused()
+			if paused {
+				m.ps.rep.PausedPasses++
+			}
+		}
+
 		switch {
+		case paused:
+			if measuring {
+				m.burst.Add(0)
+			}
 		case scanner != nil:
 			before := scanner.Cycles.Total()
 			bytesBefore := scanner.BytesTouched
-			res := scanner.ScanBatch(m.cfg.PagesToScan)
+			res := scanner.ScanBatch(budget)
 			busy := scanner.Cycles.Total() - before
 			if measuring {
 				m.burst.Add(float64(busy))
@@ -232,7 +257,7 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error 
 			// step with the engine's fetches, so DRAM sees one merged,
 			// time-ordered stream.
 			m.pump.emit = em.emitUntil
-			for scanned := 0; scanned < m.cfg.PagesToScan && pfNow < end; scanned++ {
+			for scanned := 0; scanned < budget && pfNow < end; scanned++ {
 				_, done, ok := driver.ScanOne(pfNow)
 				if !ok {
 					break
@@ -262,8 +287,16 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error 
 			if m.trace.Enabled() {
 				m.trace.Instant(obs.TIDPlatform, "interval", "churn", end, "pages", uint64(pagesSinceChurn))
 			}
-			m.img.ChurnVolatile()
+			if err := m.img.ChurnVolatile(); err != nil {
+				return err
+			}
 			pagesSinceChurn = 0
+		}
+		if m.ps != nil {
+			// One observation window per interval: demand-path p99 into the
+			// latency backpressure, then watermarks and the ladder. Window
+			// stamps continue the converge pass numbering.
+			m.ps.observeInterval(m.cfg.ConvergePasses+k, end, m.demandLat.P99())
 		}
 		if m.verify != nil {
 			if err := m.verify(k); err != nil {

@@ -18,7 +18,8 @@ import (
 // (an atomic per DRAM access would be pure overhead) and the registry is
 // the export boundary.
 func publishMetrics(reg *obs.Registry, mc *memctrl.Controller, dr *dram.DRAM,
-	hier *cache.Hierarchy, scanner *ksm.Scanner, driver *pageforge.Driver, ras *rasState) {
+	hier *cache.Hierarchy, scanner *ksm.Scanner, driver *pageforge.Driver, ras *rasState,
+	ps *pressureState) {
 
 	// Memory controller: demand traffic, PageForge fetch routing,
 	// coalescing, and the ECC pipe.
@@ -125,5 +126,19 @@ func publishMetrics(reg *obs.Registry, mc *memctrl.Controller, dr *dram.DRAM,
 		reg.SetCounter("scrub/wraps", ss.Wraps)
 		reg.SetGauge("faults/ue_rate", ras.tracker.Rate())
 		reg.SetCounter("faults/tracker_windows", ras.tracker.Windows())
+		reg.SetCounter("faults/tracker_recoveries", ras.tracker.Recoveries())
+	}
+	if ps != nil {
+		rep := ps.finalize()
+		reg.SetGauge("pressure/level", float64(rep.FinalLevel))
+		reg.SetGauge("pressure/ladder_state", float64(rep.Final))
+		reg.SetCounter("pressure/alloc_stalls", rep.AllocStalls)
+		reg.SetCounter("pressure/balloon_inflated", rep.BalloonInflated)
+		reg.SetCounter("pressure/balloon_reclaimed", rep.BalloonReclaimed)
+		reg.SetCounter("pressure/scan_throttle", rep.ThrottledPoints)
+		reg.SetCounter("pressure/paused_passes", rep.PausedPasses)
+		reg.SetCounter("pressure/transitions", uint64(len(rep.Transitions)))
+		reg.SetCounter("pressure/burst_pages", rep.BurstPages)
+		reg.SetGauge("pressure/min_free_frames", float64(rep.MinFreeFrames))
 	}
 }

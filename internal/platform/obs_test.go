@@ -33,6 +33,34 @@ func TestTraceDisabledBitIdentical(t *testing.T) {
 	}
 }
 
+// TestTracePressureBitIdentical extends the non-perturbation guarantee to
+// the memory-pressure machinery: an overcommit storm emits burst, balloon,
+// and ladder-transition instants, and the pressure counters land in the
+// metrics snapshot, yet the traced run must stay deeply equal to the
+// untraced one — stalls, transitions, and all.
+func TestTracePressureBitIdentical(t *testing.T) {
+	app, cfg := stormConfig(7)
+	plain, err := Run(KSM, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, cfg2 := stormConfig(7)
+	cfg2.Trace = obs.NewTracer(obs.DefaultTraceCapacity)
+	traced, err := Run(KSM, app2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Trace.Len() == 0 {
+		t.Fatal("tracer attached but no events recorded")
+	}
+	if plain.Metrics.Counters["pressure/alloc_stalls"] == 0 {
+		t.Fatal("storm recorded no pressure counters")
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("tracing perturbed the pressured run:\n%+v\n%+v", plain, traced)
+	}
+}
+
 // TestTracePerfettoShape checks the exported trace against the Chrome
 // trace_event contract Perfetto loads: a traceEvents array of objects that
 // each carry ph/pid/tid/ts, with complete ('X') events adding a dur.

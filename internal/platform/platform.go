@@ -18,6 +18,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/obs"
 	"repro/internal/pageforge"
+	"repro/internal/pressure"
 	"repro/internal/sim"
 	"repro/internal/tailbench"
 )
@@ -103,6 +104,13 @@ type Config struct {
 	// DegradeTrip is the UE-rate policy that demotes PageForge to software
 	// KSM; zero fields take the faults.DefaultTrip values.
 	DegradeTrip faults.Trip
+
+	// Pressure arms the memory-pressure resilience layer: overcommitted
+	// arena sizing, an allocation-burst storm, the stall/balloon reclaim
+	// protocol, watermark-driven scan backpressure, and the reversible
+	// degradation ladder. The zero value (Enabled false) creates nothing
+	// and leaves runs bit-identical to pre-pressure builds.
+	Pressure pressure.Config
 
 	// Trace, when non-nil, receives simulation events (batches, merges,
 	// intervals, RAS incidents) for Chrome trace_event export. Tracing is
@@ -210,11 +218,14 @@ type Result struct {
 	MeasuredCycles  uint64
 	ConvergedPasses int
 
-	// RAS (populated when Config.Faults is enabled). Degraded reports that
-	// the UE-rate policy demoted PageForge to software KSM during
-	// convergence; DegradedAtPass is the pass index at which it tripped.
+	// RAS and resilience. Degraded reports that the run *ended* on the
+	// software fallback: the UE-rate policy or the pressure ladder demoted
+	// PageForge to software KSM and neither re-armed. DegradedAtPass is the
+	// pass of the first demotion (-1: never); RepromotedAtPass is the pass
+	// at which the hardware engine was last re-promoted (-1: never).
 	Degraded          bool
 	DegradedAtPass    int
+	RepromotedAtPass  int
 	UERate            float64 // smoothed UEs-per-decode estimate at end of run
 	ECCCorrected      uint64
 	ECCUncorrectable  uint64
@@ -226,6 +237,10 @@ type Result struct {
 	ScrubLines        uint64
 	ScrubCorrected    uint64
 	ScrubUEs          uint64
+
+	// Pressure is the resilience layer's end-of-run report (Enabled false
+	// when Config.Pressure is off).
+	Pressure pressure.Report
 
 	// Metrics is the run's full registry snapshot: every counter, gauge,
 	// and histogram the simulation layers published, for machine-readable
@@ -240,8 +255,19 @@ func Run(mode Mode, app tailbench.Profile, cfg Config) (*Result, error) {
 }
 
 func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.DRAM, error) {
-	// Physical memory: enough headroom for images plus churn copies.
+	// Physical memory: enough headroom for images plus churn copies — or,
+	// under an armed pressure layer with overcommit, deliberately less than
+	// guest demand: the resident images must fit (the build phase has no
+	// reclaim to lean on), but the burst region does not, which is exactly
+	// the storm the resilience machinery is there to absorb.
 	physFrames := cfg.VMs*app.PagesPerVM*2 + 1024
+	if cfg.Pressure.Enabled && cfg.Pressure.OvercommitRatio > 1 {
+		demand := cfg.VMs * (app.PagesPerVM + app.BurstPagesPerVM)
+		physFrames = int(float64(demand)/cfg.Pressure.OvercommitRatio) + 1
+		if floor := cfg.VMs*app.PagesPerVM + 64; physFrames < floor {
+			physFrames = floor
+		}
+	}
 	img, err := tailbench.BuildImage(app, cfg.VMs, physFrames, cfg.Seed)
 	if err != nil {
 		return nil, nil, fmt.Errorf("platform: building image: %w", err)
@@ -280,7 +306,7 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		return mc.DemandAccess(addr, clock, write, dram.SrcCore)
 	}
 
-	res := &Result{Mode: mode, App: app, DegradedAtPass: -1}
+	res := &Result{Mode: mode, App: app, DegradedAtPass: -1, RepromotedAtPass: -1}
 
 	// Observability: one registry per run (single-goroutine handles), and a
 	// trace process on the shared tracer when tracing is on. Both are purely
@@ -313,11 +339,18 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 			tracker: faults.NewRateTracker(cfg.DegradeTrip),
 			mc:      mc,
 			budget:  cfg.ScrubLinesPerInterval,
-
-			degradedAtPass: -1,
 		}
 		mc.Faults = ras.model
 	}
+
+	// Pressure: arm the resilience layer — controller, ladder, balloon, and
+	// the hypervisor's stall/reclaim hook. Armed only after the image is
+	// built: the build phase sizes within the floor by construction.
+	var ps *pressureState
+	if cfg.Pressure.Enabled {
+		ps = newPressureState(cfg.Pressure, img, ras, sc)
+	}
+	es := &engineState{degradedAtPass: -1, repromotedAtPass: -1}
 
 	// Deduplication engine for this mode. The PageForge engine's fetches go
 	// through a pumped fetcher so the measurement phase can interleave
@@ -347,7 +380,7 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	pfDriver := driver
 	if mode != Baseline {
 		var passes int
-		passes, res.DedupGBps, scanner, driver, err = converge(img, scanner, driver, dr, cfg, ras, sc, &clock, verify)
+		passes, res.DedupGBps, scanner, driver, err = converge(img, scanner, driver, dr, cfg, ras, ps, es, sc, &clock, verify)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -361,6 +394,7 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	meas := newMeasurement(img, hier, dr, mc, cfg, app, &clock, reg)
 	meas.pump = pump
 	meas.trace = sc
+	meas.ps = ps
 	if ras != nil {
 		// Patrol scrub keeps running through the measurement phase as
 		// background DRAM traffic; the tracker keeps refining the UE-rate
@@ -419,9 +453,10 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		res.SWFallbacks = pfDriver.SWFallbacks
 		res.QuarantinedFrames = pfDriver.QuarantinedFrames()
 	}
+	res.Degraded = es.degradedAtPass >= 0 && es.repromotedAtPass < 0
+	res.DegradedAtPass = es.degradedAtPass
+	res.RepromotedAtPass = es.repromotedAtPass
 	if ras != nil {
-		res.Degraded = ras.degradedAtPass >= 0
-		res.DegradedAtPass = ras.degradedAtPass
 		res.UERate = ras.tracker.Rate()
 		res.ECCCorrected = mc.Stats.ECCCorrected
 		res.ECCUncorrectable = mc.Stats.ECCUncorrectable
@@ -430,9 +465,21 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		res.ScrubUEs = ras.scrub.Stats.Uncorrectable
 	}
 
-	publishMetrics(reg, mc, dr, hier, scanner, pfDriver, ras)
+	if ps != nil {
+		res.Pressure = ps.finalize()
+	}
+
+	publishMetrics(reg, mc, dr, hier, scanner, pfDriver, ras, ps)
 	res.Metrics = reg.Snapshot()
 	return res, dr, nil
+}
+
+// engineState tracks which engine is live across the demote/re-promote
+// swaps: the RAS trip and the pressure ladder both demote the hardware
+// driver to software KSM, and both are reversible.
+type engineState struct {
+	degradedAtPass   int
+	repromotedAtPass int
 }
 
 // rasState bundles the live RAS machinery of one run: the fault model
@@ -444,10 +491,6 @@ type rasState struct {
 	tracker *faults.RateTracker
 	mc      *memctrl.Controller
 	budget  int
-
-	// degradedAtPass is the converge pass at which the policy demoted the
-	// hardware engine (-1: never).
-	degradedAtPass int
 }
 
 // tick runs one patrol-scrub slice starting at now and feeds the
@@ -519,12 +562,15 @@ func memQueueFactor(app tailbench.Profile, r *Result, cfg Config) float64 {
 // measures the dedup engine's DRAM bandwidth during this mass-merging
 // phase: bytes streamed per pages_to_scan batch, over the 5ms interval
 // that batch occupies in deployment. Each pass ends with a patrol-scrub
-// slice and a degradation-tracker observation; when the UE-rate policy
-// trips, the PageForge driver is demoted to a software KSM scanner over
-// the same algorithm state, and the (possibly swapped) engines are
-// returned to the caller.
+// slice, a degradation-tracker observation, and (when the pressure layer
+// is armed) a watermark/ladder observation window. The RAS trip and the
+// ladder's fallback rung both demote the PageForge driver to a software
+// KSM scanner over the same algorithm state; when both signals clear, the
+// retained hardware driver is re-promoted. The (possibly swapped) engines
+// are returned to the caller.
 func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driver,
-	dr *dram.DRAM, cfg Config, ras *rasState, sc obs.Scope, clk *uint64,
+	dr *dram.DRAM, cfg Config, ras *rasState, ps *pressureState, es *engineState,
+	sc obs.Scope, clk *uint64,
 	verify func(string, int, *ksm.Scanner, *pageforge.Driver) error) (int, float64, *ksm.Scanner, *pageforge.Driver, error) {
 
 	var alg *ksm.Algorithm
@@ -533,15 +579,35 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 	} else {
 		alg = driver.Alg
 	}
+	// hwDriver retains the hardware engine across a demotion so a recovered
+	// ladder can re-promote it; fallback is the software scanner standing in
+	// for it, created once and reused across demote/re-promote cycles.
+	hwDriver := driver
+	var fallback *ksm.Scanner
 	var now uint64
 	var candidates uint64
 	prevFrames := -1
 	passes := cfg.ConvergePasses
 	for p := 0; p < cfg.ConvergePasses; p++ {
+		if ps != nil {
+			if err := ps.beginPass(p, now); err != nil {
+				return p + 1, 0, scanner, driver, err
+			}
+		}
 		pages := alg.MergeablePages()
-		if scanner != nil {
-			if cfg.ShardWorkers > 0 {
-				res := scanner.ScanPass(cfg.ShardWorkers)
+		switch {
+		case ps != nil && ps.paused():
+			// ScanPaused rung: the engine is shut off entirely this pass;
+			// churn and the observation windows keep running so the ladder
+			// can see recovery and step back up.
+			ps.rep.PausedPasses++
+		case scanner != nil:
+			workers := cfg.ShardWorkers
+			if ps != nil {
+				workers = ps.ctl.ScanWorkers(workers)
+			}
+			if workers > 0 {
+				res := scanner.ScanPass(workers)
 				candidates += uint64(res.Scanned)
 			} else {
 				for i := 0; i < pages; i++ {
@@ -549,7 +615,7 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 					candidates++
 				}
 			}
-		} else {
+		default:
 			for i := 0; i < pages; i++ {
 				_, t, ok := driver.ScanOne(now)
 				if !ok {
@@ -561,20 +627,44 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		}
 		if ras != nil {
 			now = ras.tick(now, uint64(p))
-			if driver != nil && ras.tracker.Degraded() {
-				// Too many uncorrectable errors on the hardware fetch path:
-				// demote to software KSM on the same algorithm state. The
-				// software path reads through the cache hierarchy, not the
-				// poisoned ECC fetch pipe, so scanning continues.
-				scanner = ksm.NewScanner(driver.Alg, cfg.KSMCosts)
-				scanner.Trace = sc
-				scanner.TraceNow = func() uint64 { return *clk }
-				driver = nil
-				ras.degradedAtPass = p
-				sc.Instant(obs.TIDRAS, "ras", "degrade_trip", now, "pass", uint64(p))
-			}
 		}
-		img.ChurnVolatile()
+		if ps != nil {
+			now += ps.takeStallTicks()
+			ps.observe(p, now)
+		}
+		// Unified engine selection: either health signal demotes the
+		// hardware driver to software KSM on the same algorithm state (the
+		// software path reads through the cache hierarchy, not the poisoned
+		// ECC fetch pipe, and costs core cycles the throttled rungs are
+		// willing to pay); both clearing re-promotes the retained driver.
+		wantSW := (ras != nil && ras.tracker.Degraded()) ||
+			(ps != nil && ps.ladder.State() >= pressure.KSMFallback)
+		switch {
+		case wantSW && driver != nil:
+			if fallback == nil {
+				fallback = ksm.NewScanner(driver.Alg, cfg.KSMCosts)
+				fallback.Trace = sc
+				fallback.TraceNow = func() uint64 { return *clk }
+			}
+			scanner = fallback
+			driver = nil
+			if es.degradedAtPass < 0 {
+				es.degradedAtPass = p
+			}
+			es.repromotedAtPass = -1
+			sc.Instant(obs.TIDRAS, "ras", "degrade_trip", now, "pass", uint64(p))
+		case !wantSW && driver == nil && hwDriver != nil && es.degradedAtPass >= 0:
+			driver = hwDriver
+			scanner = nil
+			es.repromotedAtPass = p
+			sc.Instant(obs.TIDRAS, "ras", "repromote", now, "pass", uint64(p))
+		}
+		if err := img.ChurnVolatile(); err != nil {
+			return p + 1, 0, scanner, driver, fmt.Errorf("platform: churn at pass %d: %w", p, err)
+		}
+		if ps != nil {
+			now += ps.takeStallTicks()
+		}
 		// Expose the pass clock to untimed components (the software
 		// scanner's merge events) regardless of tracing — keeping the
 		// update unconditional is what makes traced and untraced runs
@@ -585,7 +675,7 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		}
 		frames := img.HV.Phys.AllocatedFrames()
 		sc.Instant(obs.TIDPlatform, "interval", "pass", now, "frames", uint64(frames))
-		if frames == prevFrames && p >= 2 {
+		if frames == prevFrames && p >= 2 && (ps == nil || ps.quiescent(p)) {
 			passes = p + 1
 			break
 		}

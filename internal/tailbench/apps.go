@@ -48,6 +48,11 @@ type Profile struct {
 	// VolatileFrac is the fraction of unmergeable pages rewritten between
 	// deduplication passes (they churn hash keys and never merge).
 	VolatileFrac float64
+	// BurstPagesPerVM reserves extra guest address space above the resident
+	// image for allocation bursts (the pressure experiments' overcommit
+	// storm). Zero means no burst region; the pages exist but stay
+	// untouched until BurstWrite, so they cost no frames at build.
+	BurstPagesPerVM int
 }
 
 // ms converts milliseconds to cycles at 2 GHz.

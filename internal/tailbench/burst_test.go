@@ -1,0 +1,125 @@
+package tailbench
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestBurstRegionLifecycle pins the allocation-burst API: writes land above
+// the resident image, consume frames, and ReleaseBurst returns them all.
+func TestBurstRegionLifecycle(t *testing.T) {
+	app := *ProfileByName("silo")
+	app.PagesPerVM = 40
+	app.BurstPagesPerVM = 16
+	img, err := BuildImage(app, 3, 3*(40+16)*2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.BurstResident() != 0 {
+		t.Fatal("burst pages resident at build")
+	}
+	base := img.HV.Phys.AllocatedFrames()
+
+	n, err := img.BurstWrite(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 30 {
+		t.Fatalf("BurstWrite wrote %d pages, want 30", n)
+	}
+	if img.BurstResident() != 30 {
+		t.Fatalf("burst resident = %d, want 30", img.BurstResident())
+	}
+	if got := img.HV.Phys.AllocatedFrames(); got != base+30 {
+		t.Fatalf("allocated frames %d, want %d", got, base+30)
+	}
+	// Burst pages are in the madvised (mergeable) range.
+	v := img.VMs[0]
+	if !v.Mergeable(vm.GFN(app.PagesPerVM)) {
+		t.Fatal("burst region not madvised mergeable")
+	}
+
+	// The region is capacity-bounded, not wrap-around.
+	if n, err = img.BurstWrite(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3*6 {
+		t.Fatalf("overflow BurstWrite wrote %d pages, want 18", n)
+	}
+
+	if released := img.ReleaseBurst(); released != 48 {
+		t.Fatalf("released %d pages, want 48", released)
+	}
+	if got := img.HV.Phys.AllocatedFrames(); got != base {
+		t.Fatalf("allocated frames after teardown %d, want %d", got, base)
+	}
+	// Region is reusable after teardown.
+	if n, err = img.BurstWrite(2, 0); err != nil || n != 6 {
+		t.Fatalf("reuse after teardown: n=%d err=%v", n, err)
+	}
+}
+
+// TestBurstDupContents: dup-pool burst pages are byte-identical across VMs
+// (mergeable by the scanner mid-storm); unique ones are not.
+func TestBurstDupContents(t *testing.T) {
+	app := *ProfileByName("silo")
+	app.PagesPerVM = 20
+	app.BurstPagesPerVM = 8
+	img, err := BuildImage(app, 2, 2*(20+8)*2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.BurstWrite(8, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	pageOf := func(v *vm.VM, g vm.GFN) string {
+		p, err := v.Page(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(p)
+	}
+	dupG := vm.GFN(app.PagesPerVM) // slot 0: inside the dup half
+	if pageOf(img.VMs[0], dupG) != pageOf(img.VMs[1], dupG) {
+		t.Fatal("dup-pool burst slot differs across VMs")
+	}
+	uniqG := vm.GFN(app.PagesPerVM + 7) // slot 7: unique half
+	if pageOf(img.VMs[0], uniqG) == pageOf(img.VMs[1], uniqG) {
+		t.Fatal("unique burst slot identical across VMs")
+	}
+}
+
+// TestBurstDeterminism: same seed, same burst schedule, byte-identical
+// contents — the storm must not perturb same-seed reproducibility.
+func TestBurstDeterminism(t *testing.T) {
+	build := func() *Image {
+		app := *ProfileByName("silo")
+		app.PagesPerVM = 20
+		app.BurstPagesPerVM = 8
+		img, err := BuildImage(app, 2, 2*(20+8)*2, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := img.BurstWrite(4, 0.3); err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	a, b := build(), build()
+	for i := range a.VMs {
+		for g := vm.GFN(0); int(g) < a.VMs[i].Pages(); g++ {
+			if a.VMs[i].Present(g) != b.VMs[i].Present(g) {
+				t.Fatalf("presence diverged at vm%d gfn%d", i, g)
+			}
+			if !a.VMs[i].Present(g) {
+				continue
+			}
+			pa, _ := a.VMs[i].Page(g)
+			pb, _ := b.VMs[i].Page(g)
+			if string(pa) != string(pb) {
+				t.Fatalf("contents diverged at vm%d gfn%d", i, g)
+			}
+		}
+	}
+}

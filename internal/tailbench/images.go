@@ -26,6 +26,12 @@ type Image struct {
 	UniquePages []vm.PageID
 
 	rng *sim.RNG
+
+	// burstUsed is the number of burst slots written (not yet released) per
+	// VM; burstRNG drives burst contents on a stream independent of the
+	// churn RNG, so enabling a storm does not perturb churn determinism.
+	burstUsed int
+	burstRNG  *sim.RNG
 }
 
 // BuildImage deploys numVMs copies of the application and fills guest
@@ -55,10 +61,11 @@ func BuildImage(p Profile, numVMs int, physFrames int, seed uint64) (*Image, err
 	// (c, slot) selects v — realized simply by striding contents across
 	// slots so each content lands in ~DupCopies VMs.
 	for i := 0; i < numVMs; i++ {
-		v := img.HV.NewVM(uint64(p.PagesPerVM) * mem.PageSize)
-		v.Madvise(0, p.PagesPerVM, true)
+		v := img.HV.NewVM(uint64(p.PagesPerVM+p.BurstPagesPerVM) * mem.PageSize)
+		v.Madvise(0, p.PagesPerVM+p.BurstPagesPerVM, true)
 		img.VMs = append(img.VMs, v)
 	}
+	img.burstRNG = sim.NewRNG(seed ^ 0xB0057_F00D)
 
 	page := make([]byte, mem.PageSize)
 	// Image-specific salt: two deployments with different seeds must not
@@ -175,6 +182,75 @@ func (img *Image) ChurnVolatile() error {
 	return nil
 }
 
+// BurstWrite models one window of an allocation burst: every VM writes n
+// fresh pages into its burst region (above the resident image), faulting in
+// frames on the demand path — with the stall/balloon protocol engaged if
+// the arena is exhausted. dupFrac of the writes draw contents from a small
+// pool shared across VMs (near-identical serverless sandboxes spinning up),
+// so the scanner can merge storm pages away while the storm runs; the rest
+// are unique. It returns the number of pages written, stopping early only
+// when the burst region is full.
+func (img *Image) BurstWrite(n int, dupFrac float64) (int, error) {
+	if img.Profile.BurstPagesPerVM == 0 || n <= 0 {
+		return 0, nil
+	}
+	if left := img.Profile.BurstPagesPerVM - img.burstUsed; n > left {
+		n = left
+	}
+	page := make([]byte, mem.PageSize)
+	salt := img.burstRNG.Uint64()
+	written := 0
+	for slot := 0; slot < n; slot++ {
+		g := vm.GFN(img.Profile.PagesPerVM + img.burstUsed + slot)
+		for i, v := range img.VMs {
+			if float64(slot) < dupFrac*float64(n) {
+				// Pool content: slot-indexed, shared by every VM this window.
+				fillPage(page, salt+uint64(slot)*0x9E3779B97F4A7C15)
+			} else {
+				fillPage(page, salt^(uint64(i*img.Profile.BurstPagesPerVM+img.burstUsed+slot)*0xA24BAED4963EE407+13))
+			}
+			if _, err := v.Write(g, 0, page); err != nil {
+				return written, fmt.Errorf("tailbench: burst page %v: %w", vm.PageID{VM: v.ID, GFN: g}, err)
+			}
+			written++
+		}
+	}
+	img.burstUsed += n
+	return written, nil
+}
+
+// ReleaseBurst tears the burst region down (the storm's sandboxes exit),
+// releasing every written burst page in deterministic VM-then-GFN order,
+// and returns the number of guest pages released. The burst region is
+// reusable afterwards.
+func (img *Image) ReleaseBurst() int {
+	released := 0
+	for _, v := range img.VMs {
+		for slot := 0; slot < img.burstUsed; slot++ {
+			g := vm.GFN(img.Profile.PagesPerVM + slot)
+			if v.Present(g) {
+				v.Release(g)
+				released++
+			}
+		}
+	}
+	img.burstUsed = 0
+	return released
+}
+
+// BurstResident reports guest pages currently resident in burst regions.
+func (img *Image) BurstResident() int {
+	resident := 0
+	for _, v := range img.VMs {
+		for slot := 0; slot < img.burstUsed; slot++ {
+			if v.Present(vm.GFN(img.Profile.PagesPerVM + slot)) {
+				resident++
+			}
+		}
+	}
+	return resident
+}
+
 // Footprint classifies the deployment's pages after deduplication, in the
 // taxonomy of Figure 7, and reports page counts.
 type Footprint struct {
@@ -237,9 +313,9 @@ func (img *Image) MeasureFootprint() Footprint {
 // VM-specific words. Same-page merging cannot exploit these, but sub-page
 // techniques (Difference Engine-style patching) can — this models the
 // sharing the paper's related work (§7.2) attributes to similar pages.
-func (img *Image) AddSimilarity(frac float64) {
+func (img *Image) AddSimilarity(frac float64) error {
 	if frac <= 0 {
-		return
+		return nil
 	}
 	// Group unique pages by gfn: each gfn gets one base content, each VM a
 	// tiny delta on it.
@@ -265,8 +341,9 @@ func (img *Image) AddSimilarity(frac float64) {
 				page[off+k] = byte(id.VM*31 + k + 1)
 			}
 			if _, err := img.HV.VM(id.VM).Write(id.GFN, 0, page); err != nil {
-				panic(err)
+				return fmt.Errorf("tailbench: similarity page %v: %w", id, err)
 			}
 		}
 	}
+	return nil
 }

@@ -75,6 +75,24 @@ type Hypervisor struct {
 	// to maintain a shadow copy of page contents; it must not mutate
 	// simulation state.
 	OnWrite func(id PageID, off int, data []byte)
+
+	// OnRelease, when non-nil, observes every guest page release (balloon
+	// inflation, sandbox teardown) after the mapping is gone. Verification
+	// tooling uses it to keep shadow contents coherent: a released page
+	// that is later re-touched reads zero-fill, not its old bytes.
+	OnRelease func(id PageID)
+
+	// Reclaim, when non-nil, is consulted when a guest-path frame
+	// allocation finds the arena exhausted: the platform's pressure layer
+	// stalls the faulting vCPU (bounded backoff in simulated ticks) and
+	// balloon-reclaims frames from victim VMs. attempt counts the failures
+	// of the current allocation, starting at 1; returning false stops the
+	// retry loop and lets the typed exhaustion error propagate.
+	Reclaim func(attempt int) bool
+
+	// AllocStalls counts guest-path allocation failures that entered the
+	// stall-and-retry path (one per failed attempt, not per allocation).
+	AllocStalls uint64
 }
 
 // NewHypervisor creates a hypervisor with the given physical capacity.
@@ -137,6 +155,22 @@ func (v *VM) Resolve(g GFN) (mem.PFN, bool) {
 	return e.pfn, e.present
 }
 
+// allocFrame runs one guest-path allocation through the stall-and-retry
+// protocol: on exhaustion it hands control to the Reclaim hook (which
+// stalls the vCPU and balloon-reclaims frames) and retries until the hook
+// gives up, at which point the typed mem.ErrOutOfFrames propagates.
+func (h *Hypervisor) allocFrame(alloc func() (mem.PFN, error)) (mem.PFN, error) {
+	pfn, err := alloc()
+	for attempt := 1; err != nil && h.Reclaim != nil; attempt++ {
+		h.AllocStalls++
+		if !h.Reclaim(attempt) {
+			break
+		}
+		pfn, err = alloc()
+	}
+	return pfn, err
+}
+
 // fault backs an unbacked page with a zeroed frame (the hypervisor's
 // zero-fill soft fault: "picks a page, zeroes it out to avoid information
 // leakage, and provides it to the guest OS").
@@ -145,7 +179,7 @@ func (v *VM) fault(g GFN) (*mapping, error) {
 	if e.present {
 		return e, nil
 	}
-	pfn, err := v.hv.Phys.Alloc()
+	pfn, err := v.hv.allocFrame(v.hv.Phys.Alloc)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +249,7 @@ func (v *VM) breakCoW(g GFN, e *mapping) error {
 	}
 	// The fresh frame is fully overwritten by the copy, so skip the
 	// zero-fill a plain Alloc would pay (and would miscount as demand-zero).
-	fresh, err := v.hv.Phys.AllocForCopy()
+	fresh, err := v.hv.allocFrame(v.hv.Phys.AllocForCopy)
 	if err != nil {
 		return err
 	}
@@ -239,6 +273,9 @@ func (v *VM) Release(g GFN) {
 	v.hv.rmapRemove(e.pfn, PageID{v.ID, g})
 	v.hv.Phys.DecRef(e.pfn)
 	*e = mapping{mergeable: e.mergeable}
+	if v.hv.OnRelease != nil {
+		v.hv.OnRelease(PageID{v.ID, g})
+	}
 }
 
 func (h *Hypervisor) rmapAdd(pfn mem.PFN, id PageID) {

@@ -34,6 +34,7 @@ func Shrink(sc Scenario, fails func(Scenario) bool, maxProbes int) (Scenario, in
 		// is categorically simpler than any size reduction.
 		for _, move := range []func(*Scenario){
 			func(c *Scenario) { c.FaultRate = 0 },
+			func(c *Scenario) { c.Overcommit, c.BurstPages, c.BurstPasses = 0, 0, 0 },
 			func(c *Scenario) { c.VolatileFrac = 0 },
 			func(c *Scenario) { c.ZeroFrac = 0 },
 			func(c *Scenario) { c.MeasureIntervals = 0 },
@@ -58,6 +59,8 @@ func Shrink(sc Scenario, fails func(Scenario) bool, maxProbes int) (Scenario, in
 			{func(c Scenario) int { return c.PagesPerVM }, func(c *Scenario, v int) { c.PagesPerVM = v }, 16},
 			{func(c Scenario) int { return int(c.DupCopies) }, func(c *Scenario, v int) { c.DupCopies = float64(v) }, 2},
 			{func(c Scenario) int { return c.PagesToScan }, func(c *Scenario, v int) { c.PagesToScan = v }, 50},
+			{func(c Scenario) int { return c.BurstPages }, func(c *Scenario, v int) { c.BurstPages = v }, 0},
+			{func(c Scenario) int { return c.BurstPasses }, func(c *Scenario, v int) { c.BurstPasses = v }, 0},
 		} {
 			// Binary descent: probe ever-smaller decrements so the result
 			// lands on the minimal failing value, not just a power-of-two

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/platform"
+	"repro/internal/pressure"
 	"repro/internal/sim"
 	"repro/internal/tailbench"
 )
@@ -48,6 +49,14 @@ type Scenario struct {
 	// (0 = fault-free; also scales correctable transients and stuck words,
 	// mirroring the RAS experiment's population).
 	FaultRate float64
+
+	// Memory-pressure shape (0/0/0 = pressure layer off). Overcommit > 1
+	// sizes the arena below guest demand and arms the stall/balloon/ladder
+	// machinery; the storm writes BurstPages fresh pages per VM per pass
+	// for BurstPasses passes.
+	Overcommit  float64
+	BurstPages  int
+	BurstPasses int
 }
 
 // Generate draws a random scenario from the given seed. The distribution
@@ -58,7 +67,7 @@ func Generate(seed uint64) Scenario {
 	rng := sim.NewRNG(seed ^ 0x5EEDF00D)
 	sc := Scenario{
 		Seed:       seed,
-		VMs:        2 + rng.Intn(5),   // 2..6
+		VMs:        2 + rng.Intn(5),    // 2..6
 		PagesPerVM: 40 + rng.Intn(161), // 40..200
 		DupFrac:    0.2 + 0.5*rng.Float64(),
 		ZeroFrac:   0.25 * rng.Float64(),
@@ -80,8 +89,26 @@ func Generate(seed uint64) Scenario {
 		// a few are storms.
 		sc.FaultRate = math.Pow(10, -4+3*rng.Float64())
 	}
+	// Pressure draws come last so pre-pressure fields keep their same-seed
+	// values (adding draws earlier would silently reshuffle every archived
+	// repro scenario).
+	if rng.Bool(0.25) {
+		sc.Overcommit = 1.1 + 0.8*rng.Float64() // 1.1..1.9
+		sc.BurstPages = 5 + rng.Intn(26)        // 5..30 per VM per pass
+		sc.BurstPasses = 1 + rng.Intn(3)        // 1..3
+		if sc.ConvergePasses < sc.BurstPasses+4 {
+			// The storm needs room to start (pass 1), run, and recover.
+			sc.ConvergePasses = sc.BurstPasses + 4
+		}
+	}
 	return sc
 }
+
+// Pressured reports whether the scenario arms the memory-pressure layer.
+// Pressured runs balloon-release pages at engine-dependent times, so their
+// merge sets are not comparable across modes (the differential equivalence
+// and completeness checks are skipped; the per-pass invariants still hold).
+func (s Scenario) Pressured() bool { return s.Overcommit > 1 }
 
 // FaultFree reports whether the scenario injects no DRAM faults, which is
 // the precondition for the differential KSM ≡ PageForge equivalence check.
@@ -105,6 +132,7 @@ func (s Scenario) Profile() tailbench.Profile {
 		DupCopies:         s.DupCopies,
 		PagesPerVM:        s.PagesPerVM,
 		VolatileFrac:      s.VolatileFrac,
+		BurstPagesPerVM:   s.BurstPages * s.BurstPasses,
 	}
 }
 
@@ -134,13 +162,23 @@ func (s Scenario) Config() platform.Config {
 			Frames:           frames,
 		}
 	}
+	if s.Pressured() {
+		pc := pressure.DefaultConfig()
+		pc.Enabled = true
+		pc.OvercommitRatio = s.Overcommit
+		pc.BurstStart = 1
+		pc.BurstPasses = s.BurstPasses
+		pc.BurstPages = s.BurstPages
+		pc.BurstDupFrac = 0.5
+		cfg.Pressure = pc
+	}
 	return cfg
 }
 
 // String renders the scenario compactly for progress and failure reports.
 func (s Scenario) String() string {
-	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d shards=%d workers=%d fault=%.2g",
+	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d shards=%d workers=%d fault=%.2g overcommit=%.2f burst=%dx%d",
 		s.Seed, s.VMs, s.PagesPerVM, s.DupFrac, s.DupCopies, s.ZeroFrac,
 		s.VolatileFrac, s.ConvergePasses, s.MeasureIntervals, s.PagesToScan,
-		1<<s.ShardBits, s.ShardWorkers, s.FaultRate)
+		1<<s.ShardBits, s.ShardWorkers, s.FaultRate, s.Overcommit, s.BurstPages, s.BurstPasses)
 }

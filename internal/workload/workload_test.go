@@ -32,11 +32,27 @@ func TestGenerateDeterministicAndInRange(t *testing.T) {
 		if sc.FaultFree() != (sc.FaultRate == 0) {
 			t.Fatalf("seed %d: FaultFree inconsistent", seed)
 		}
+		if sc.Pressured() != (sc.Overcommit > 1) {
+			t.Fatalf("seed %d: Pressured inconsistent", seed)
+		}
+		if sc.Pressured() {
+			if sc.Overcommit < 1.1 || sc.Overcommit > 1.9 {
+				t.Fatalf("seed %d: Overcommit %g out of range", seed, sc.Overcommit)
+			}
+			if sc.BurstPages < 5 || sc.BurstPages > 30 || sc.BurstPasses < 1 || sc.BurstPasses > 3 {
+				t.Fatalf("seed %d: burst shape out of range: %+v", seed, sc)
+			}
+			if sc.ConvergePasses < sc.BurstPasses+4 {
+				t.Fatalf("seed %d: storm has no room to start and recover: %+v", seed, sc)
+			}
+		} else if sc.BurstPages != 0 || sc.BurstPasses != 0 {
+			t.Fatalf("seed %d: unpressured scenario carries a burst: %+v", seed, sc)
+		}
 	}
 }
 
 func TestGenerateCoversRegimes(t *testing.T) {
-	var faulted, churning int
+	var faulted, churning, pressured int
 	for seed := uint64(0); seed < 200; seed++ {
 		sc := Generate(seed)
 		if !sc.FaultFree() {
@@ -45,12 +61,18 @@ func TestGenerateCoversRegimes(t *testing.T) {
 		if sc.VolatileFrac > 0 {
 			churning++
 		}
+		if sc.Pressured() {
+			pressured++
+		}
 	}
 	if faulted < 50 || faulted > 150 {
 		t.Fatalf("fault regime coverage skewed: %d/200 faulted", faulted)
 	}
 	if churning < 40 || churning > 140 {
 		t.Fatalf("churn regime coverage skewed: %d/200 churning", churning)
+	}
+	if pressured < 20 || pressured > 90 {
+		t.Fatalf("pressure regime coverage skewed: %d/200 pressured", pressured)
 	}
 }
 
@@ -75,6 +97,19 @@ func TestScenarioConfigMapsFields(t *testing.T) {
 	if p.PagesPerVM != sc.PagesPerVM || p.DupFrac != sc.DupFrac || p.ZeroFrac != sc.ZeroFrac {
 		t.Fatalf("profile composition not mapped: %+v", p)
 	}
+
+	sc.Overcommit, sc.BurstPages, sc.BurstPasses = 1.5, 20, 2
+	pcfg := sc.Config().Pressure
+	if !pcfg.Enabled || pcfg.OvercommitRatio != 1.5 || pcfg.BurstPages != 20 || pcfg.BurstPasses != 2 {
+		t.Fatalf("pressure shape not mapped: %+v", pcfg)
+	}
+	if bp := sc.Profile().BurstPagesPerVM; bp != 40 {
+		t.Fatalf("burst region not sized for the whole storm: %d", bp)
+	}
+	sc.Overcommit = 0
+	if sc.Config().Pressure.Enabled {
+		t.Fatal("unpressured scenario must leave the pressure layer disarmed")
+	}
 }
 
 // TestShrinkMinimizesSyntheticFailure drives the shrinker with a synthetic
@@ -83,6 +118,7 @@ func TestScenarioConfigMapsFields(t *testing.T) {
 func TestShrinkMinimizesSyntheticFailure(t *testing.T) {
 	sc := Generate(11)
 	sc.FaultRate = 0.05
+	sc.Overcommit, sc.BurstPages, sc.BurstPasses = 1.6, 25, 3
 	fails := func(s Scenario) bool { return s.VMs >= 2 && s.PagesPerVM >= 20 }
 	if !fails(sc) {
 		t.Fatal("starting scenario must fail")
@@ -100,8 +136,28 @@ func TestShrinkMinimizesSyntheticFailure(t *testing.T) {
 	if shrunk.FaultRate != 0 || shrunk.VolatileFrac != 0 {
 		t.Fatalf("irrelevant mechanisms not removed: %+v", shrunk)
 	}
+	if shrunk.Overcommit != 0 || shrunk.BurstPages != 0 || shrunk.BurstPasses != 0 {
+		t.Fatalf("irrelevant pressure storm not removed: %+v", shrunk)
+	}
 	if shrunk.ConvergePasses != 2 || shrunk.MeasureIntervals != 0 {
 		t.Fatalf("phases not minimized: %+v", shrunk)
+	}
+}
+
+// TestShrinkReducesPressureStorm pins the pressure-specific moves: when a
+// failure needs the overcommit itself, the all-or-nothing mechanism move
+// can't fire, but the burst shape must still descend to its floors.
+func TestShrinkReducesPressureStorm(t *testing.T) {
+	sc := Generate(11)
+	sc.Overcommit, sc.BurstPages, sc.BurstPasses = 1.6, 25, 3
+	fails := func(s Scenario) bool { return s.Pressured() }
+	shrunk, probes := Shrink(sc, fails, 300)
+	if !shrunk.Pressured() {
+		t.Fatal("shrinker returned a passing scenario")
+	}
+	if shrunk.BurstPages != 0 || shrunk.BurstPasses != 0 {
+		t.Fatalf("burst shape not minimized: %dx%d (%d probes)",
+			shrunk.BurstPages, shrunk.BurstPasses, probes)
 	}
 }
 

@@ -34,10 +34,10 @@ package pageforgesim
 import (
 	"io"
 
+	"repro/internal/check"
 	"repro/internal/diffengine"
 	"repro/internal/dram"
 	"repro/internal/ecc"
-	"repro/internal/check"
 	"repro/internal/esx"
 	"repro/internal/experiments"
 	"repro/internal/faults"
@@ -379,6 +379,18 @@ func RASExperiment(s *Suite, rates []float64) (*experiments.RASResult, error) {
 
 // DefaultRASRates spans clean silicon to an always-faulting DIMM.
 func DefaultRASRates() []float64 { return experiments.DefaultRASRates() }
+
+// PressureExperiment sweeps the overcommit ratio through an allocation-burst
+// storm against the memory-pressure resilience layer: graceful-OOM stalls,
+// balloon reclaim, scan backpressure, and the degradation ladder, with the
+// invariant checker attached throughout. A nil or empty ratios slice uses
+// DefaultPressureRatios.
+func PressureExperiment(s *Suite, ratios []float64) (*experiments.PressureResult, error) {
+	return experiments.Pressure(s, ratios)
+}
+
+// DefaultPressureRatios spans comfortable capacity to a 2x overcommit.
+func DefaultPressureRatios() []float64 { return experiments.DefaultPressureRatios() }
 
 // Timeline measures the savings convergence ramp of both engines on one
 // application under identical tunables.
