@@ -37,14 +37,19 @@ smoke:
 		| jq -e '.experiments.table4.Rows | length > 0' > /dev/null
 	$(GO) run ./cmd/pageforge run -exp pressure -fast -quiet -json \
 		| jq -e '.experiments.pressure.Rows | map(select(.Ratio >= 1.5)) | all(.Recovered) and length > 0' > /dev/null
+	$(GO) run ./cmd/pageforge run -exp crash -fast -quiet -json -crash-passes 2 -ckpt-every 0,2 \
+		| jq -e '.experiments.crash.Rows | all(.Identical) and length > 0' > /dev/null
 	@echo smoke OK
 
-# fuzz gives the ECC decoder and page-key contracts a short native-fuzzing
-# budget per target (raise FUZZTIME for a real campaign). Any ≤2-bit
-# corruption must be corrected or detected, never silently miscorrected.
+# fuzz gives the ECC decoder, page-key, and snapshot-codec contracts a short
+# native-fuzzing budget per target (raise FUZZTIME for a real campaign). Any
+# ≤2-bit corruption must be corrected or detected, never silently
+# miscorrected; any mutated snapshot envelope must be rejected with a typed
+# error, never decoded into garbage or a panic.
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/ecc/
 	$(GO) test -run='^$$' -fuzz='^FuzzPageKey$$' -fuzztime=$(FUZZTIME) ./internal/ecc/
+	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotDecode$$' -fuzztime=$(FUZZTIME) ./internal/snapshot/
 
 # cover measures cross-package statement coverage over the whole test
 # suite and fails when the total drops below COVER_FLOOR percent (the

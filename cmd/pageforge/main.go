@@ -3,8 +3,9 @@
 // Usage:
 //
 //	pageforge list
-//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure]
+//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash]
 //	              [-apps img_dnn,silo,...] [-fast] [-seed N] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...]
+//	              [-crash-passes p1,p2,...] [-ckpt-every n1,n2,...]
 //	              [-json] [-trace file] [-metrics file]
 //	              [-cpuprofile file] [-memprofile file] [-pprof addr]
 //	pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
@@ -62,7 +63,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pageforge list
-  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...]
+  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...] [-crash-passes p1,p2,...] [-ckpt-every n1,n2,...]
                 [-json] [-trace file] [-metrics file] [-cpuprofile file] [-memprofile file] [-pprof addr]
   pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
   pageforge perfcheck [-baseline BENCH_suite.json] [-tol 0.10]
@@ -129,6 +130,7 @@ func list() {
 		{"ras", "Extension: DRAM fault rate vs merge coverage, scrub/retry overhead, degradation"},
 		{"verify", "Model-based verification: randomized scenarios, invariant checker, KSM≡PageForge differential"},
 		{"pressure", "Robustness: overcommit storm vs graceful OOM, ballooning, backpressure, degradation ladder"},
+		{"crash", "Robustness: host crash x checkpoint interval vs verified recovery, replay cost, bit-identity"},
 	} {
 		fmt.Printf("  %-7s %s\n", e[0], e[1])
 	}
@@ -153,6 +155,8 @@ func run(args []string) {
 	faultRates := fs.String("fault-rate", "", "comma-separated UE-per-read rates for the ras experiment (default sweep when empty)")
 	verifyN := fs.Int("verify-n", experiments.DefaultVerifyScenarios, "randomized scenario count for the verify experiment")
 	overcommit := fs.String("overcommit", "", "comma-separated demand/capacity ratios for the pressure experiment (default sweep when empty)")
+	crashPassesFlag := fs.String("crash-passes", "", "comma-separated convergence passes to crash at for the crash experiment (default sweep when empty)")
+	ckptEveryFlag := fs.String("ckpt-every", "", "comma-separated checkpoint intervals for the crash experiment (default sweep when empty)")
 	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON document on stdout instead of text tables")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file of the simulation runs (Perfetto-loadable)")
 	metricsFile := fs.String("metrics", "", "write every run's full metrics snapshot (counters, gauges, histograms) as JSON")
@@ -184,6 +188,23 @@ func run(args []string) {
 	}
 	rates := parseFloats("-fault-rate", *faultRates)
 	ratios := parseFloats("-overcommit", *overcommit)
+	parseInts := func(flagName, s string) []int {
+		var out []int
+		if s == "" {
+			return out
+		}
+		for _, tok := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad %s %q: %v\n", flagName, tok, err)
+				os.Exit(2)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	crashPasses := parseInts("-crash-passes", *crashPassesFlag)
+	ckptEvery := parseInts("-ckpt-every", *ckptEveryFlag)
 
 	var suite *experiments.Suite
 	if *fast {
@@ -373,6 +394,13 @@ func run(args []string) {
 			emit("pressure", r)
 		}
 	}
+	if want("crash") {
+		if r, err := pageforgesim.CrashExperiment(suite, crashPasses, ckptEvery); err != nil {
+			fail(err)
+		} else {
+			emit("crash", r)
+		}
+	}
 	if progress != nil && len(modeSet) > 0 {
 		fmt.Fprintln(os.Stderr, "\n"+progress.Summary())
 	}
@@ -463,6 +491,15 @@ func bench(args []string) {
 		os.Exit(1)
 	}
 
+	// Crash-recovery benchmark: wall-clock cost of one audited
+	// checkpoint-crash-restore-replay point, including its bit-identity
+	// cross-check against the uninterrupted run.
+	crashRec, err := experiments.RunCrashBench(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
 	type keyMetrics struct {
 		AvgDemandLatency float64 `json:"avg_demand_latency_cycles"`
 		DemandLatP95     float64 `json:"demand_latency_p95_cycles"`
@@ -477,10 +514,11 @@ func bench(args []string) {
 		Fast        bool                       `json:"fast"`
 		Seed        uint64                     `json:"seed"`
 		Parallelism int                        `json:"parallelism"`
-		ElapsedSecs float64                    `json:"elapsed_seconds"`
-		ScanPass    experiments.ScanPassResult `json:"scanpass"`
-		Runs        []experiments.RunRecord    `json:"runs"`
-		KeyMetrics  map[string]keyMetrics      `json:"key_metrics"`
+		ElapsedSecs float64                      `json:"elapsed_seconds"`
+		ScanPass    experiments.ScanPassResult   `json:"scanpass"`
+		CrashRec    experiments.CrashBenchResult `json:"crash_recovery"`
+		Runs        []experiments.RunRecord      `json:"runs"`
+		KeyMetrics  map[string]keyMetrics        `json:"key_metrics"`
 	}{
 		Schema:      experiments.DocSchema,
 		GoVersion:   runtime.Version(),
@@ -489,6 +527,7 @@ func bench(args []string) {
 		Parallelism: *parallel,
 		ElapsedSecs: elapsed.Seconds(),
 		ScanPass:    scanpass,
+		CrashRec:    crashRec,
 		Runs:        progress.Records(),
 		KeyMetrics:  make(map[string]keyMetrics),
 	}

@@ -47,6 +47,10 @@ type Checker struct {
 	Tamper func(p platform.VerifyPoint)
 
 	hv *vm.Hypervisor
+	// saved holds the shadow-model clones taken at platform checkpoints
+	// (keyed by pass; -1 = boot), so crash restores can rewind the reference
+	// alongside the machine. See crash.go.
+	saved map[int]*Model
 }
 
 // BeginRun implements platform.Verifier: snapshot the freshly-built image.

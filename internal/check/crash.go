@@ -1,0 +1,62 @@
+package check
+
+import (
+	"repro/internal/vm"
+)
+
+// Crash support. The checker's shadow model is part of the verification
+// world, not the simulated world, so the platform's checkpoint blobs do not
+// contain it — instead the checker implements platform.CrashObserver and
+// keeps its own per-checkpoint model clones. When a crash restores the
+// machine to pass P, Restored rewinds the shadow to the clone taken at P;
+// every audit during the replay then compares the rewound machine against
+// the rewound reference. Without this rewind the model would remember
+// writes the crash destroyed and the very first post-restore audit would
+// (wrongly) report divergence.
+
+// Clone deep-copies the model (shadow pages and dirty marks).
+func (m *Model) Clone() *Model {
+	c := NewModel()
+	for id, page := range m.shadow {
+		p := make([]byte, len(page))
+		copy(p, page)
+		c.shadow[id] = p
+	}
+	for id, d := range m.dirty {
+		c.dirty[id] = d
+	}
+	return c
+}
+
+// Rebind re-installs the model as the hypervisor's write observer without
+// re-snapshotting (Attach would overwrite the rewound shadow with the
+// machine's current contents, destroying exactly the reference a restore
+// needs).
+func (m *Model) Rebind(hv *vm.Hypervisor) {
+	hv.OnWrite = m.observe
+	hv.OnRelease = m.observeRelease
+}
+
+// Checkpoint implements platform.CrashObserver: clone the shadow model at
+// the checkpointed pass (-1 = boot).
+func (c *Checker) Checkpoint(pass int) {
+	if c.saved == nil {
+		c.saved = map[int]*Model{}
+	}
+	c.saved[pass] = c.Model.Clone()
+}
+
+// Restored implements platform.CrashObserver: rewind the shadow model to
+// the clone taken at the restored pass and re-attach it to the hypervisor's
+// write stream. Cloning again on the way out keeps the saved image pristine
+// for back-to-back crashes restoring the same checkpoint.
+func (c *Checker) Restored(pass int) {
+	saved := c.saved[pass]
+	if saved == nil {
+		// The platform never restores a pass it did not checkpoint; treat a
+		// miss as corruption of the page the next audit will expose.
+		return
+	}
+	c.Model = saved.Clone()
+	c.Model.Rebind(c.hv)
+}

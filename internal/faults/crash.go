@@ -1,0 +1,61 @@
+package faults
+
+import "sort"
+
+// Host-crash injection. A crash is not a DRAM fault — it kills the whole
+// engine mid-convergence — but it belongs to the same deterministic fault
+// vocabulary: the schedule is fixed up front (drawn by the workload
+// generator or configured by an experiment), so two runs with the same
+// plan crash at exactly the same convergence passes.
+
+// CrashConfig schedules host crashes for one run. The zero value injects
+// nothing.
+type CrashConfig struct {
+	// Passes lists the 0-based convergence passes at whose boundary the
+	// host dies. Duplicates model back-to-back crashes within one re-arm
+	// window: the host comes back up, recovers, and dies again at the same
+	// boundary before taking another checkpoint.
+	Passes []int
+}
+
+// Enabled reports whether the configuration schedules any crash.
+func (c CrashConfig) Enabled() bool { return len(c.Passes) > 0 }
+
+// CrashPlan is the consumable schedule built from a CrashConfig: a sorted
+// queue of crash passes, popped as the convergence loop reaches them.
+type CrashPlan struct {
+	queue []int
+	fired int
+}
+
+// NewCrashPlan builds a plan from the configuration. Negative passes are
+// dropped; the rest are sorted ascending so replayed boundaries (which
+// re-run earlier passes after a restore) never re-fire a consumed crash.
+func NewCrashPlan(cfg CrashConfig) *CrashPlan {
+	p := &CrashPlan{}
+	for _, pass := range cfg.Passes {
+		if pass >= 0 {
+			p.queue = append(p.queue, pass)
+		}
+	}
+	sort.Ints(p.queue)
+	return p
+}
+
+// FireAt reports whether the host crashes at the given pass boundary,
+// consuming the crash if so. Each scheduled crash fires at most once; a
+// pass listed twice fires twice (the second on the replayed boundary).
+func (p *CrashPlan) FireAt(pass int) bool {
+	if len(p.queue) == 0 || p.queue[0] != pass {
+		return false
+	}
+	p.queue = p.queue[1:]
+	p.fired++
+	return true
+}
+
+// Remaining reports how many scheduled crashes have not fired yet.
+func (p *CrashPlan) Remaining() int { return len(p.queue) }
+
+// Fired reports how many crashes have fired.
+func (p *CrashPlan) Fired() int { return p.fired }

@@ -1,0 +1,86 @@
+package faults
+
+import "sort"
+
+// Checkpoint support. The stuck-cell population is immutable configuration
+// (rebuilt identically from the seed), so a model image is just the
+// transient-draw RNG position, the per-line rewrite epochs, and the
+// injection counters. The rate tracker is pure policy state and serializes
+// field-for-field.
+
+// RewriteState is one line's last-rewrite epoch.
+type RewriteState struct {
+	Addr uint64
+	At   uint64
+}
+
+// ModelState is the serialized image of a fault Model.
+type ModelState struct {
+	RNG       uint64
+	LastWrite []RewriteState
+	Stats     Stats
+}
+
+// State captures the model's mutable state.
+func (m *Model) State() ModelState {
+	st := ModelState{RNG: m.rng.State(), Stats: m.stats}
+	for addr, at := range m.lastWrite {
+		st.LastWrite = append(st.LastWrite, RewriteState{Addr: addr, At: at})
+	}
+	sort.Slice(st.LastWrite, func(i, j int) bool { return st.LastWrite[i].Addr < st.LastWrite[j].Addr })
+	return st
+}
+
+// SetState restores the model's mutable state in place.
+func (m *Model) SetState(st ModelState) {
+	m.rng.SetState(st.RNG)
+	m.lastWrite = make(map[uint64]uint64, len(st.LastWrite))
+	for _, rw := range st.LastWrite {
+		m.lastWrite[rw.Addr] = rw.At
+	}
+	m.stats = st.Stats
+}
+
+// TrackerState is the serialized image of a RateTracker.
+type TrackerState struct {
+	LastFetches uint64
+	LastUEs     uint64
+	Rate        float64
+	Seeded      bool
+	Tripped     bool
+	TrippedAt   uint64
+	Windows     uint64
+	ClearStreak int
+	Recoveries  uint64
+	RecoveredAt uint64
+}
+
+// State captures the tracker.
+func (t *RateTracker) State() TrackerState {
+	return TrackerState{
+		LastFetches: t.lastFetches,
+		LastUEs:     t.lastUEs,
+		Rate:        t.rate,
+		Seeded:      t.seeded,
+		Tripped:     t.tripped,
+		TrippedAt:   t.trippedAt,
+		Windows:     t.windows,
+		ClearStreak: t.clearStreak,
+		Recoveries:  t.recoveries,
+		RecoveredAt: t.recoveredAt,
+	}
+}
+
+// SetState restores the tracker in place.
+func (t *RateTracker) SetState(st TrackerState) {
+	t.lastFetches = st.LastFetches
+	t.lastUEs = st.LastUEs
+	t.rate = st.Rate
+	t.seeded = st.Seeded
+	t.tripped = st.Tripped
+	t.trippedAt = st.TrippedAt
+	t.windows = st.Windows
+	t.clearStreak = st.ClearStreak
+	t.recoveries = st.Recoveries
+	t.recoveredAt = st.RecoveredAt
+}

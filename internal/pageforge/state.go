@@ -1,0 +1,109 @@
+package pageforge
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Checkpoint support. The engine image covers the Scan Table, the busy
+// window, and the statistics; the key assembler is deliberately excluded —
+// it is reset by insert_PFE at the start of every candidate, and captures
+// only happen at pass boundaries where no candidate is in flight. The ECC
+// offsets are configuration, re-established by the restorer's wiring.
+
+// EngineState is the serialized image of an Engine.
+type EngineState struct {
+	Table  ScanTable
+	Busy   bool
+	DoneAt uint64
+
+	BatchCycles       sim.OnlineState
+	LinesFetched      uint64
+	PagesCompared     uint64
+	Duplicates        uint64
+	KeysGenerated     uint64
+	BusyCycles        uint64
+	CompareEarlyExits uint64
+	LineRetries       uint64
+	RetriesHealed     uint64
+	FaultAborts       uint64
+}
+
+// State captures the engine.
+func (e *Engine) State() EngineState {
+	return EngineState{
+		Table:             e.Table,
+		Busy:              e.busy,
+		DoneAt:            e.doneAt,
+		BatchCycles:       e.BatchCycles.State(),
+		LinesFetched:      e.LinesFetched,
+		PagesCompared:     e.PagesCompared,
+		Duplicates:        e.Duplicates,
+		KeysGenerated:     e.KeysGenerated,
+		BusyCycles:        e.BusyCycles,
+		CompareEarlyExits: e.CompareEarlyExits,
+		LineRetries:       e.LineRetries,
+		RetriesHealed:     e.RetriesHealed,
+		FaultAborts:       e.FaultAborts,
+	}
+}
+
+// SetState restores the engine in place.
+func (e *Engine) SetState(st EngineState) {
+	e.Table = st.Table
+	e.busy = st.Busy
+	e.doneAt = st.DoneAt
+	e.BatchCycles.SetState(st.BatchCycles)
+	e.LinesFetched = st.LinesFetched
+	e.PagesCompared = st.PagesCompared
+	e.Duplicates = st.Duplicates
+	e.KeysGenerated = st.KeysGenerated
+	e.BusyCycles = st.BusyCycles
+	e.CompareEarlyExits = st.CompareEarlyExits
+	e.LineRetries = st.LineRetries
+	e.RetriesHealed = st.RetriesHealed
+	e.FaultAborts = st.FaultAborts
+	e.keyAsm.Reset()
+}
+
+// DriverState is the serialized image of a Driver: counters plus the
+// quarantine set in sorted frame order (the live set is a map).
+type DriverState struct {
+	CoreCycles      uint64
+	Batches         uint64
+	Polls           uint64
+	SWFallbacks     uint64
+	QuarantineSkips uint64
+	Quarantine      []mem.PFN
+}
+
+// State captures the driver.
+func (d *Driver) State() DriverState {
+	st := DriverState{
+		CoreCycles:      d.CoreCycles,
+		Batches:         d.Batches,
+		Polls:           d.Polls,
+		SWFallbacks:     d.SWFallbacks,
+		QuarantineSkips: d.QuarantineSkips,
+	}
+	for pfn := range d.quarantine {
+		st.Quarantine = append(st.Quarantine, pfn)
+	}
+	sort.Slice(st.Quarantine, func(i, j int) bool { return st.Quarantine[i] < st.Quarantine[j] })
+	return st
+}
+
+// SetState restores the driver in place.
+func (d *Driver) SetState(st DriverState) {
+	d.CoreCycles = st.CoreCycles
+	d.Batches = st.Batches
+	d.Polls = st.Polls
+	d.SWFallbacks = st.SWFallbacks
+	d.QuarantineSkips = st.QuarantineSkips
+	d.quarantine = make(map[mem.PFN]struct{}, len(st.Quarantine))
+	for _, pfn := range st.Quarantine {
+		d.quarantine[pfn] = struct{}{}
+	}
+}

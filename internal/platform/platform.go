@@ -112,6 +112,21 @@ type Config struct {
 	// and leaves runs bit-identical to pre-pressure builds.
 	Pressure pressure.Config
 
+	// Crash schedules deterministic host crashes at convergence-pass
+	// boundaries (see internal/faults.CrashConfig); CheckpointEvery
+	// checkpoints the full simulator state every N convergence passes
+	// (0 = boot checkpoint only). A crashed run restores the newest
+	// checkpoint, verifies the recovered dedup index, and replays the lost
+	// passes; its Result (minus the Crash report) is bit-identical to the
+	// uninterrupted run's. Both zero values create nothing and leave runs
+	// bit-identical to pre-crash builds.
+	Crash           faults.CrashConfig
+	CheckpointEvery int
+	// RecoveryFailures injects that many recovery-verification failures
+	// (test hook): each consumes one restore attempt, exercising the
+	// retry/backoff, cold-rebuild, and KSM-fallback ladder.
+	RecoveryFailures int
+
 	// Trace, when non-nil, receives simulation events (batches, merges,
 	// intervals, RAS incidents) for Chrome trace_event export. Tracing is
 	// purely observational: a traced run produces bit-identical Results to
@@ -241,6 +256,11 @@ type Result struct {
 	// Pressure is the resilience layer's end-of-run report (Enabled false
 	// when Config.Pressure is off).
 	Pressure pressure.Report
+
+	// Crash is the checkpoint/crash/recovery machinery's report (Enabled
+	// false when neither Config.Crash nor CheckpointEvery is armed). It is
+	// the one Result section excluded from the crash bit-identity contract.
+	Crash CrashReport
 
 	// Metrics is the run's full registry snapshot: every counter, gauge,
 	// and histogram the simulation layers published, for machine-readable
@@ -378,13 +398,26 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	// pfDriver keeps the hardware driver reachable for statistics even when
 	// the degradation policy swaps the live engine to software KSM.
 	pfDriver := driver
+	// Crash tolerance: checkpoint/restore machinery, armed only when a crash
+	// schedule or a checkpoint cadence is configured. Baseline has no dedup
+	// state to recover (and no convergence phase to crash in).
+	var cs *crashState
+	if (cfg.Crash.Enabled() || cfg.CheckpointEvery > 0) && mode != Baseline {
+		cs = newCrashState(cfg, &crashEnv{
+			mode: mode, img: img, hier: hier, dr: dr, mc: mc,
+			ras: ras, ps: ps, es: es, sc: sc,
+		})
+	}
 	if mode != Baseline {
 		var passes int
-		passes, res.DedupGBps, scanner, driver, err = converge(img, scanner, driver, dr, cfg, ras, ps, es, sc, &clock, verify)
+		passes, res.DedupGBps, scanner, driver, err = converge(img, scanner, driver, dr, cfg, ras, ps, es, cs, sc, &clock, verify)
 		if err != nil {
 			return nil, nil, err
 		}
 		res.ConvergedPasses = passes
+	}
+	if cs != nil {
+		res.Crash = cs.rep
 	}
 	res.Footprint = img.MeasureFootprint()
 
@@ -570,7 +603,7 @@ func memQueueFactor(app tailbench.Profile, r *Result, cfg Config) float64 {
 // are returned to the caller.
 func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driver,
 	dr *dram.DRAM, cfg Config, ras *rasState, ps *pressureState, es *engineState,
-	sc obs.Scope, clk *uint64,
+	cs *crashState, sc obs.Scope, clk *uint64,
 	verify func(string, int, *ksm.Scanner, *pageforge.Driver) error) (int, float64, *ksm.Scanner, *pageforge.Driver, error) {
 
 	var alg *ksm.Algorithm
@@ -588,6 +621,27 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 	var candidates uint64
 	prevFrames := -1
 	passes := cfg.ConvergePasses
+	makeFallback := func() *ksm.Scanner {
+		f := ksm.NewScanner(hwDriver.Alg, cfg.KSMCosts)
+		f.Trace = sc
+		f.TraceNow = func() uint64 { return *clk }
+		return f
+	}
+	if cs != nil {
+		// Bind the crash machinery to this loop's locals (restores rewind
+		// them in place) and capture the boot checkpoint: recovery always has
+		// at least the pre-pass world to fall back to.
+		env := cs.env
+		env.alg = alg
+		env.hwDriver = hwDriver
+		env.ksmScanner = scanner
+		env.scanner, env.driver, env.fallback = &scanner, &driver, &fallback
+		env.makeFallback = makeFallback
+		env.now, env.clk, env.candidates, env.prevFrames = &now, clk, &candidates, &prevFrames
+		if err := cs.checkpoint(-1); err != nil {
+			return 0, 0, scanner, driver, err
+		}
+	}
 	for p := 0; p < cfg.ConvergePasses; p++ {
 		if ps != nil {
 			if err := ps.beginPass(p, now); err != nil {
@@ -638,13 +692,12 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		// ECC fetch pipe, and costs core cycles the throttled rungs are
 		// willing to pay); both clearing re-promotes the retained driver.
 		wantSW := (ras != nil && ras.tracker.Degraded()) ||
-			(ps != nil && ps.ladder.State() >= pressure.KSMFallback)
+			(ps != nil && ps.ladder.State() >= pressure.KSMFallback) ||
+			(cs != nil && cs.forcedSW)
 		switch {
 		case wantSW && driver != nil:
 			if fallback == nil {
-				fallback = ksm.NewScanner(driver.Alg, cfg.KSMCosts)
-				fallback.Trace = sc
-				fallback.TraceNow = func() uint64 { return *clk }
+				fallback = makeFallback()
 			}
 			scanner = fallback
 			driver = nil
@@ -675,11 +728,31 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		}
 		frames := img.HV.Phys.AllocatedFrames()
 		sc.Instant(obs.TIDPlatform, "interval", "pass", now, "frames", uint64(frames))
-		if frames == prevFrames && p >= 2 && (ps == nil || ps.quiescent(p)) {
+		converged := frames == prevFrames && p >= 2 && (ps == nil || ps.quiescent(p))
+		prevFrames = frames
+		// Close the pass boundary: periodic checkpoint, then the crash plan.
+		// A restore rewinds every loop local (including prevFrames and the
+		// convergence verdict baked into it) to the checkpointed pass; the
+		// loop replays from there and re-reaches this boundary identically.
+		if cs != nil {
+			resume, restored, err := cs.boundary(p)
+			if err != nil {
+				return p + 1, 0, scanner, driver, err
+			}
+			if restored && resume != p {
+				p = resume
+				continue
+			}
+			// resume == p means the crash restored the checkpoint captured
+			// at this very boundary: the restored world is bit-identical to
+			// the state the convergence verdict below was computed from, so
+			// fall through rather than replaying a zero-pass window (which
+			// would skip the verdict and converge one pass late).
+		}
+		if converged {
 			passes = p + 1
 			break
 		}
-		prevFrames = frames
 	}
 
 	// A degraded run streamed bytes through both engines; the PageForge

@@ -1,0 +1,104 @@
+package rbtree
+
+import "repro/internal/mem"
+
+// Checkpoint support: a tree's exact shape must survive a serialize/restore
+// round trip. Rebuilding a tree by re-inserting its pages would produce a
+// different (rebalanced) shape, and tree shape determines every later
+// lookup's comparison count — which the simulator accounts as DRAM traffic
+// and core cycles — so a restored run would silently diverge from the
+// uninterrupted one. Export/Import therefore serialize the structure
+// verbatim: preorder nodes with color and child-presence flags, enough to
+// reconstruct root, parent links, and colors bit-exactly.
+
+// NodeState is one serialized node in preorder.
+type NodeState struct {
+	PFN      mem.PFN
+	Red      bool
+	HasLeft  bool
+	HasRight bool
+}
+
+// TreeState is one tree's full serialized image: preorder structure plus
+// the comparison-cost counters (which are part of the simulation state).
+type TreeState struct {
+	Nodes         []NodeState
+	Comparisons   uint64
+	BytesCompared uint64
+}
+
+// Export captures the tree's exact structure and counters.
+func (t *Tree) Export() TreeState {
+	st := TreeState{Comparisons: t.Comparisons, BytesCompared: t.BytesCompared}
+	if t.size > 0 {
+		st.Nodes = make([]NodeState, 0, t.size)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		st.Nodes = append(st.Nodes, NodeState{
+			PFN:      n.PFN,
+			Red:      n.red,
+			HasLeft:  n.left != nil,
+			HasRight: n.right != nil,
+		})
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return st
+}
+
+// Import rebuilds the tree in place from a captured state, discarding the
+// current contents. item supplies each node's payload (KSM reattaches its
+// per-shard items); a nil item leaves payloads nil. The comparator and any
+// state it captures are untouched — Import never compares pages.
+func (t *Tree) Import(st TreeState, item func(pfn mem.PFN) interface{}) {
+	t.root = nil
+	t.size = len(st.Nodes)
+	t.Comparisons = st.Comparisons
+	t.BytesCompared = st.BytesCompared
+	i := 0
+	var build func(parent *Node) *Node
+	build = func(parent *Node) *Node {
+		ns := st.Nodes[i]
+		i++
+		n := &Node{PFN: ns.PFN, parent: parent, owner: t, red: ns.Red}
+		if item != nil {
+			n.Item = item(ns.PFN)
+		}
+		if ns.HasLeft {
+			n.left = build(n)
+		}
+		if ns.HasRight {
+			n.right = build(n)
+		}
+		return n
+	}
+	if len(st.Nodes) > 0 {
+		t.root = build(nil)
+	}
+}
+
+// Export captures every shard's state in shard order.
+func (s *Sharded) Export() []TreeState {
+	out := make([]TreeState, len(s.shards))
+	for i, t := range s.shards {
+		out[i] = t.Export()
+	}
+	return out
+}
+
+// Import restores every shard in place from a captured state. The shard
+// count must match the capture (the route function is configuration, not
+// state, so a checkpoint never changes it).
+func (s *Sharded) Import(states []TreeState, item func(pfn mem.PFN) interface{}) {
+	if len(states) != len(s.shards) {
+		panic("rbtree: Sharded.Import shard-count mismatch")
+	}
+	for i, t := range s.shards {
+		t.Import(states[i], item)
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+// State exposes the generator's raw xorshift state so a checkpoint can
+// capture the stream position and a restore can resume it bit-exactly.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's state with a previously captured
+// value. A zero state would wedge xorshift; it is mapped to the same
+// fallback Seed uses.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
+// OnlineState is the plain-data image of an Online accumulator, used by the
+// checkpoint codec (gob needs exported fields).
+type OnlineState struct {
+	N    uint64
+	Mean float64
+	M2   float64
+	Min  float64
+	Max  float64
+}
+
+// State captures the accumulator.
+func (o *Online) State() OnlineState {
+	return OnlineState{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max}
+}
+
+// SetState restores a previously captured accumulator image.
+func (o *Online) SetState(s OnlineState) {
+	o.n, o.mean, o.m2, o.min, o.max = s.N, s.Mean, s.M2, s.Min, s.Max
+}

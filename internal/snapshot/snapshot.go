@@ -1,0 +1,114 @@
+// Package snapshot is the versioned checkpoint codec: a self-describing
+// envelope (magic, version, payload length, checksum) around a gob-encoded
+// payload. The codec itself is payload-agnostic; the platform defines what
+// a full simulator checkpoint contains.
+//
+// Determinism contract: encoding the same payload value twice yields
+// byte-identical blobs. That requires payloads built from slices, arrays,
+// and scalars only — gob serializes map entries in iteration order, which
+// Go randomizes, so payload types must not contain maps (state accessors
+// across the tree serialize their maps as sorted slices for this reason).
+//
+// Robustness contract: Decode never panics. Corrupt, truncated, or
+// version-skewed input returns a typed error — the recovery pipeline
+// treats any decode failure as a lost checkpoint and falls back to an
+// older one, so a malformed blob must be a value, not a crash.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// magic identifies a snapshot blob: "PFSNAP" plus a two-digit envelope
+// revision (the payload schema has its own version field).
+var magic = [8]byte{'P', 'F', 'S', 'N', 'A', 'P', '0', '1'}
+
+// headerSize is the envelope length: magic + version + payload length +
+// FNV-64a checksum of the payload.
+const headerSize = 8 + 4 + 8 + 8
+
+// Typed decode errors, distinguishable by errors.Is.
+var (
+	// ErrTruncated reports a blob shorter than its header demands.
+	ErrTruncated = errors.New("snapshot: truncated blob")
+	// ErrBadMagic reports a blob that is not a snapshot at all.
+	ErrBadMagic = errors.New("snapshot: bad magic")
+	// ErrVersion reports a payload-schema version mismatch.
+	ErrVersion = errors.New("snapshot: version mismatch")
+	// ErrChecksum reports payload corruption.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrPayload reports a payload the gob decoder rejected (or one whose
+	// decoding panicked — the decoder recovers and reports it here).
+	ErrPayload = errors.New("snapshot: malformed payload")
+)
+
+// Encode serializes the payload under the given schema version.
+func Encode(version uint32, payload any) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		return nil, fmt.Errorf("snapshot: encode: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(body.Bytes())
+
+	blob := make([]byte, headerSize+body.Len())
+	copy(blob[0:8], magic[:])
+	binary.BigEndian.PutUint32(blob[8:12], version)
+	binary.BigEndian.PutUint64(blob[12:20], uint64(body.Len()))
+	binary.BigEndian.PutUint64(blob[20:28], h.Sum64())
+	copy(blob[headerSize:], body.Bytes())
+	return blob, nil
+}
+
+// Decode deserializes a blob produced by Encode into payload (a pointer),
+// verifying the envelope first: magic, schema version, declared length,
+// and checksum. Any failure — including a panicking gob decode on
+// adversarial input — comes back as an error wrapping one of the typed
+// sentinels above.
+func Decode(blob []byte, version uint32, payload any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: decoder panic: %v", ErrPayload, r)
+		}
+	}()
+	if len(blob) < headerSize {
+		return fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(blob), headerSize)
+	}
+	if !bytes.Equal(blob[0:8], magic[:]) {
+		return ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint32(blob[8:12]); v != version {
+		return fmt.Errorf("%w: blob v%d, want v%d", ErrVersion, v, version)
+	}
+	n := binary.BigEndian.Uint64(blob[12:20])
+	if uint64(len(blob)-headerSize) != n {
+		return fmt.Errorf("%w: payload %d bytes, header declares %d", ErrTruncated, len(blob)-headerSize, n)
+	}
+	body := blob[headerSize:]
+	h := fnv.New64a()
+	h.Write(body)
+	if sum := binary.BigEndian.Uint64(blob[20:28]); h.Sum64() != sum {
+		return fmt.Errorf("%w: payload sums to %#x, header declares %#x", ErrChecksum, h.Sum64(), sum)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(payload); err != nil {
+		return fmt.Errorf("%w: %v", ErrPayload, err)
+	}
+	return nil
+}
+
+// Version extracts the schema version from a blob without decoding the
+// payload (for diagnostics; Decode re-checks it).
+func Version(blob []byte) (uint32, error) {
+	if len(blob) < 12 {
+		return 0, ErrTruncated
+	}
+	if !bytes.Equal(blob[0:8], magic[:]) {
+		return 0, ErrBadMagic
+	}
+	return binary.BigEndian.Uint32(blob[8:12]), nil
+}

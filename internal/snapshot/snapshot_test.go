@@ -1,0 +1,101 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+type testPayload struct {
+	Name    string
+	Passes  int
+	Arena   []byte
+	Cursors []uint64
+}
+
+func samplePayload() testPayload {
+	return testPayload{
+		Name:    "converge",
+		Passes:  7,
+		Arena:   bytes.Repeat([]byte{0xAB, 0x00, 0x11}, 1000),
+		Cursors: []uint64{3, 1, 4, 1, 5, 9, 2, 6},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := samplePayload()
+	blob, err := Encode(3, in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var out testPayload
+	if err := Decode(blob, 3, &out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Name != in.Name || out.Passes != in.Passes ||
+		!bytes.Equal(out.Arena, in.Arena) || len(out.Cursors) != len(in.Cursors) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if v, err := Version(blob); err != nil || v != 3 {
+		t.Fatalf("Version = %d, %v; want 3, nil", v, err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := Encode(1, samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(1, samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodes of the same payload differ")
+	}
+}
+
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	blob, _ := Encode(2, samplePayload())
+	var out testPayload
+	if err := Decode(blob, 5, &out); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	blob, _ := Encode(1, samplePayload())
+	for _, n := range []int{0, 5, headerSize - 1, headerSize, len(blob) - 1} {
+		var out testPayload
+		err := Decode(blob[:n], 1, &out)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated to %d bytes: got %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	blob, _ := Encode(1, samplePayload())
+	blob[0] ^= 0xFF
+	var out testPayload
+	if err := Decode(blob, 1, &out); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	blob, _ := Encode(1, samplePayload())
+	blob[headerSize+10] ^= 0x01
+	var out testPayload
+	if err := Decode(blob, 1, &out); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecodeRejectsWrongPayloadType(t *testing.T) {
+	blob, _ := Encode(1, samplePayload())
+	var out struct{ Totally int }
+	if err := Decode(blob, 1, &out); !errors.Is(err, ErrPayload) {
+		t.Fatalf("got %v, want ErrPayload", err)
+	}
+}

@@ -1,0 +1,30 @@
+package tailbench
+
+// Checkpoint support. The image's own state beyond the hypervisor (captured
+// separately) is two RNG streams and the burst-region cursor: churn draws,
+// burst contents, and burst occupancy must resume exactly where the
+// checkpoint left them or post-restore writes diverge from the
+// uninterrupted run.
+
+// ImageState is the serialized image of an Image's mutable state.
+type ImageState struct {
+	RNG       uint64
+	BurstRNG  uint64
+	BurstUsed int
+}
+
+// State captures the image's RNG streams and burst cursor.
+func (img *Image) State() ImageState {
+	return ImageState{
+		RNG:       img.rng.State(),
+		BurstRNG:  img.burstRNG.State(),
+		BurstUsed: img.burstUsed,
+	}
+}
+
+// SetState restores the image's RNG streams and burst cursor.
+func (img *Image) SetState(st ImageState) {
+	img.rng.SetState(st.RNG)
+	img.burstRNG.SetState(st.BurstRNG)
+	img.burstUsed = st.BurstUsed
+}

@@ -1,0 +1,146 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Checkpoint support: plain-data images of the virtualization layer. The
+// rmap is captured verbatim — entry order within a frame's mapper list is
+// history-dependent (removal is swap-with-last), and merge candidate
+// iteration observes that order, so restoring it element-for-element is
+// required for bit-exact resume.
+
+// MappingState is the exported image of one page-table entry.
+type MappingState struct {
+	PFN       uint64
+	Present   bool
+	WriteProt bool
+	Mergeable bool
+}
+
+// HugeRangeState is the exported image of one huge mapping.
+type HugeRangeState struct {
+	Start GFN
+	N     int
+}
+
+// VMState is the serialized image of one VM.
+type VMState struct {
+	Table      []MappingState
+	Huge       []HugeRangeState
+	SoftFaults uint64
+	CoWBreaks  uint64
+	HugeBreaks uint64
+}
+
+// HypervisorState is the serialized image of the hypervisor (excluding
+// physical memory, which mem.PhysState covers, and the observer/reclaim
+// hooks, which are wiring re-established by the restorer).
+type HypervisorState struct {
+	VMs         []VMState
+	Rmap        [][]PageID
+	Merges      uint64
+	Unmerges    uint64
+	AllocStalls uint64
+}
+
+// State captures the hypervisor's VM tables, rmap, and counters.
+func (h *Hypervisor) State() HypervisorState {
+	st := HypervisorState{
+		VMs:         make([]VMState, len(h.vms)),
+		Rmap:        make([][]PageID, len(h.rmap)),
+		Merges:      h.Merges,
+		Unmerges:    h.Unmerges,
+		AllocStalls: h.AllocStalls,
+	}
+	for i, v := range h.vms {
+		vs := VMState{
+			Table:      make([]MappingState, len(v.table)),
+			SoftFaults: v.SoftFaults,
+			CoWBreaks:  v.CoWBreaks,
+			HugeBreaks: v.HugeBreaks,
+		}
+		for g, e := range v.table {
+			vs.Table[g] = MappingState{
+				PFN:       uint64(e.pfn),
+				Present:   e.present,
+				WriteProt: e.writeProt,
+				Mergeable: e.mergeable,
+			}
+		}
+		for _, r := range v.huge {
+			vs.Huge = append(vs.Huge, HugeRangeState{Start: r.start, N: r.n})
+		}
+		st.VMs[i] = vs
+	}
+	for pfn, ids := range h.rmap {
+		if len(ids) > 0 {
+			st.Rmap[pfn] = append([]PageID(nil), ids...)
+		}
+	}
+	return st
+}
+
+// SetState restores a previously captured image in place. VM count and
+// per-VM table sizes must match the live machine (deployment shape is
+// configuration, not state). The OnWrite/OnRelease/Reclaim hooks are left
+// untouched — the restorer owns their wiring.
+func (h *Hypervisor) SetState(st HypervisorState) error {
+	if len(st.VMs) != len(h.vms) {
+		return fmt.Errorf("vm: restore VM-count mismatch (have %d, snapshot %d)", len(h.vms), len(st.VMs))
+	}
+	if len(st.Rmap) != len(h.rmap) {
+		return fmt.Errorf("vm: restore rmap-size mismatch (have %d, snapshot %d)", len(h.rmap), len(st.Rmap))
+	}
+	for i, vs := range st.VMs {
+		v := h.vms[i]
+		if len(vs.Table) != len(v.table) {
+			return fmt.Errorf("vm: restore table-size mismatch for VM %d (have %d, snapshot %d)",
+				i, len(v.table), len(vs.Table))
+		}
+		for g, ms := range vs.Table {
+			v.table[g] = mapping{
+				pfn:       mem.PFN(ms.PFN),
+				present:   ms.Present,
+				writeProt: ms.WriteProt,
+				mergeable: ms.Mergeable,
+			}
+		}
+		v.huge = v.huge[:0]
+		for _, r := range vs.Huge {
+			v.huge = append(v.huge, hugeRange{start: r.Start, n: r.N})
+		}
+		v.SoftFaults = vs.SoftFaults
+		v.CoWBreaks = vs.CoWBreaks
+		v.HugeBreaks = vs.HugeBreaks
+	}
+	for pfn := range h.rmap {
+		h.rmap[pfn] = h.rmap[pfn][:0]
+		h.rmap[pfn] = append(h.rmap[pfn], st.Rmap[pfn]...)
+	}
+	h.Merges = st.Merges
+	h.Unmerges = st.Unmerges
+	h.AllocStalls = st.AllocStalls
+	return nil
+}
+
+// BalloonState is the serialized image of a balloon device.
+type BalloonState struct {
+	Next      int
+	Inflated  uint64
+	Reclaimed uint64
+}
+
+// State captures the balloon's cursor and counters.
+func (b *Balloon) State() BalloonState {
+	return BalloonState{Next: b.next, Inflated: b.Inflated, Reclaimed: b.Reclaimed}
+}
+
+// SetState restores the balloon's cursor and counters.
+func (b *Balloon) SetState(st BalloonState) {
+	b.next = st.Next
+	b.Inflated = st.Inflated
+	b.Reclaimed = st.Reclaimed
+}

@@ -35,6 +35,8 @@ func Shrink(sc Scenario, fails func(Scenario) bool, maxProbes int) (Scenario, in
 		for _, move := range []func(*Scenario){
 			func(c *Scenario) { c.FaultRate = 0 },
 			func(c *Scenario) { c.Overcommit, c.BurstPages, c.BurstPasses = 0, 0, 0 },
+			func(c *Scenario) { c.CrashPassA, c.CrashPassB, c.CheckpointEvery = 0, 0, 0 },
+			func(c *Scenario) { c.CrashPassB = 0 },
 			func(c *Scenario) { c.VolatileFrac = 0 },
 			func(c *Scenario) { c.ZeroFrac = 0 },
 			func(c *Scenario) { c.MeasureIntervals = 0 },

@@ -57,6 +57,15 @@ type Scenario struct {
 	Overcommit  float64
 	BurstPages  int
 	BurstPasses int
+
+	// Crash shape (0/0/0 = crash layer off). CheckpointEvery checkpoints
+	// the world every N convergence passes; CrashPassA/B are 1-based crash
+	// passes (0 = none) — recovery is bit-exact, so crashed scenarios stay
+	// in the differential equivalence check. Scalars only: the shrinker
+	// compares scenarios with ==.
+	CheckpointEvery int
+	CrashPassA      int
+	CrashPassB      int
 }
 
 // Generate draws a random scenario from the given seed. The distribution
@@ -99,6 +108,16 @@ func Generate(seed uint64) Scenario {
 		if sc.ConvergePasses < sc.BurstPasses+4 {
 			// The storm needs room to start (pass 1), run, and recover.
 			sc.ConvergePasses = sc.BurstPasses + 4
+		}
+	}
+	// Crash draws come after the pressure block for the same reason the
+	// pressure block comes last: same-seed scenarios keep their pre-crash
+	// field values.
+	if rng.Bool(0.25) {
+		sc.CheckpointEvery = 1 + rng.Intn(3) // 1..3
+		sc.CrashPassA = 1 + rng.Intn(sc.ConvergePasses)
+		if rng.Bool(0.3) {
+			sc.CrashPassB = 1 + rng.Intn(sc.ConvergePasses)
 		}
 	}
 	return sc
@@ -172,13 +191,21 @@ func (s Scenario) Config() platform.Config {
 		pc.BurstDupFrac = 0.5
 		cfg.Pressure = pc
 	}
+	cfg.CheckpointEvery = s.CheckpointEvery
+	if s.CrashPassA > 0 {
+		cfg.Crash.Passes = append(cfg.Crash.Passes, s.CrashPassA-1)
+	}
+	if s.CrashPassB > 0 {
+		cfg.Crash.Passes = append(cfg.Crash.Passes, s.CrashPassB-1)
+	}
 	return cfg
 }
 
 // String renders the scenario compactly for progress and failure reports.
 func (s Scenario) String() string {
-	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d shards=%d workers=%d fault=%.2g overcommit=%.2f burst=%dx%d",
+	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d shards=%d workers=%d fault=%.2g overcommit=%.2f burst=%dx%d ckpt=%d crash=%d/%d",
 		s.Seed, s.VMs, s.PagesPerVM, s.DupFrac, s.DupCopies, s.ZeroFrac,
 		s.VolatileFrac, s.ConvergePasses, s.MeasureIntervals, s.PagesToScan,
-		1<<s.ShardBits, s.ShardWorkers, s.FaultRate, s.Overcommit, s.BurstPages, s.BurstPasses)
+		1<<s.ShardBits, s.ShardWorkers, s.FaultRate, s.Overcommit, s.BurstPages, s.BurstPasses,
+		s.CheckpointEvery, s.CrashPassA, s.CrashPassB)
 }

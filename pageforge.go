@@ -392,6 +392,22 @@ func PressureExperiment(s *Suite, ratios []float64) (*experiments.PressureResult
 // DefaultPressureRatios spans comfortable capacity to a 2x overcommit.
 func DefaultPressureRatios() []float64 { return experiments.DefaultPressureRatios() }
 
+// CrashExperiment sweeps host-crash point x checkpoint interval through the
+// crash-tolerance layer: deterministic checkpoints, a drawn host crash,
+// hint-then-verify recovery of the dedup index, and replay of the lost
+// passes — asserting the recovered run is bit-identical to an uninterrupted
+// same-seed run at every grid point. Nil or empty slices use the default
+// sweeps.
+func CrashExperiment(s *Suite, crashPasses, intervals []int) (*experiments.CrashResult, error) {
+	return experiments.Crash(s, crashPasses, intervals)
+}
+
+// DefaultCrashPasses spans the guaranteed-to-fire convergence window.
+func DefaultCrashPasses() []int { return experiments.DefaultCrashPasses() }
+
+// DefaultCheckpointIntervals spans boot-only through every-pass cadence.
+func DefaultCheckpointIntervals() []int { return experiments.DefaultCheckpointIntervals() }
+
 // Timeline measures the savings convergence ramp of both engines on one
 // application under identical tunables.
 func Timeline(s *Suite, app Profile, intervals int) (*experiments.TimelineResult, error) {
