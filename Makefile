@@ -26,12 +26,17 @@ bench:
 # scan-throughput benchmark and fails when the speedup ratio regresses more
 # than 10% against the committed BENCH_suite.json baseline, or drops below
 # the 2x floor. The ratio (not absolute throughput) is what gets compared,
-# so the gate is meaningful across machines.
+# so the gate is meaningful across machines. It then times the same scan
+# passes with the merge-lifecycle ledger attached — a fresh absolute
+# on-vs-off comparison, no baseline involved — and fails when provenance
+# costs more than the tolerance.
 perfcheck:
 	$(GO) run ./cmd/pageforge perfcheck -baseline BENCH_suite.json -tol 0.10
 
 # smoke exercises the CLI's machine-readable path end to end: a fast
-# two-app table4 run must emit a JSON document with populated rows.
+# two-app table4 run must emit a JSON document with populated rows, and the
+# efficiency run must prove zero perturbation while writing a well-formed
+# per-pass series artifact.
 smoke:
 	$(GO) run ./cmd/pageforge run -exp table4 -fast -quiet -json -apps img_dnn,silo \
 		| jq -e '.experiments.table4.Rows | length > 0' > /dev/null
@@ -39,6 +44,10 @@ smoke:
 		| jq -e '.experiments.pressure.Rows | map(select(.Ratio >= 1.5)) | all(.Recovered) and length > 0' > /dev/null
 	$(GO) run ./cmd/pageforge run -exp crash -fast -quiet -json -crash-passes 2 -ckpt-every 0,2 \
 		| jq -e '.experiments.crash.Rows | all(.Identical) and length > 0' > /dev/null
+	$(GO) run ./cmd/pageforge run -exp efficiency -fast -quiet -json -apps img_dnn \
+		-series /tmp/pageforge-smoke-series.json \
+		| jq -e '.experiments.efficiency.Rows | all(.Identical) and length > 0' > /dev/null
+	jq -e '.schema == "pageforge-series/v1" and (.tracks | length > 0) and ([.tracks[].points | length] | add > 0)' /tmp/pageforge-smoke-series.json > /dev/null
 	@echo smoke OK
 
 # fuzz gives the ECC decoder, page-key, and snapshot-codec contracts a short

@@ -3,11 +3,13 @@
 // Usage:
 //
 //	pageforge list
-//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash]
+//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash|efficiency]
 //	              [-apps img_dnn,silo,...] [-fast] [-seed N] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...]
 //	              [-crash-passes p1,p2,...] [-ckpt-every n1,n2,...]
-//	              [-json] [-trace file] [-metrics file]
+//	              [-json] [-trace file] [-metrics file] [-series file]
 //	              [-cpuprofile file] [-memprofile file] [-pprof addr]
+//	pageforge explain [-mode KSM|PageForge] [-app name] [-fast] [-seed N] [-pfn N] [-json]
+//	pageforge report -series file [-ledger file] [-track substr]
 //	pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
 //
 // Each experiment prints the same rows/series the corresponding table or
@@ -15,9 +17,17 @@
 // comparison; -json replaces the text tables with one machine-readable
 // document on stdout. -trace writes a Chrome trace_event file of the runs'
 // simulation events (open in Perfetto or chrome://tracing); -metrics dumps
-// every run's full counter/histogram snapshot. A failing experiment is
-// reported on stderr and the remaining selections still run; the exit
-// status is then non-zero.
+// every run's full counter/histogram snapshot; -series dumps every run's
+// per-pass time-series samples (counter deltas and gauges at each
+// convergence-pass and measurement-interval boundary). A failing experiment
+// is reported on stderr and the remaining selections still run; the exit
+// status is then non-zero. An output-artifact path that cannot be created
+// fails fast with exit status 3, before any simulation runs.
+//
+// `pageforge explain` runs one configuration with the merge-lifecycle
+// provenance ledger attached and replays a frame's recorded history;
+// `pageforge report` renders convergence-curve and scan-budget attribution
+// tables from previously written -series and ledger artifacts.
 package main
 
 import (
@@ -29,12 +39,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	pageforgesim "repro"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -48,6 +60,10 @@ func main() {
 		list()
 	case "run":
 		run(os.Args[2:])
+	case "explain":
+		explain(os.Args[2:])
+	case "report":
+		report(os.Args[2:])
 	case "bench":
 		bench(os.Args[2:])
 	case "perfcheck":
@@ -63,8 +79,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pageforge list
-  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...] [-crash-passes p1,p2,...] [-ckpt-every n1,n2,...]
-                [-json] [-trace file] [-metrics file] [-cpuprofile file] [-memprofile file] [-pprof addr]
+  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash|efficiency] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...] [-crash-passes p1,p2,...] [-ckpt-every n1,n2,...]
+                [-json] [-trace file] [-metrics file] [-series file] [-cpuprofile file] [-memprofile file] [-pprof addr]
+  pageforge explain [-mode KSM|PageForge] [-app name] [-fast] [-seed N] [-pfn N] [-json]
+  pageforge report -series file [-ledger file] [-track substr]
   pageforge bench [-out BENCH_suite.json] [-fast] [-parallel N] [-seed N]
   pageforge perfcheck [-baseline BENCH_suite.json] [-tol 0.10]
   pageforge sweep [-app name] [-pages N] [-seconds S]`)
@@ -131,6 +149,7 @@ func list() {
 		{"verify", "Model-based verification: randomized scenarios, invariant checker, KSM≡PageForge differential"},
 		{"pressure", "Robustness: overcommit storm vs graceful OOM, ballooning, backpressure, degradation ladder"},
 		{"crash", "Robustness: host crash x checkpoint interval vs verified recovery, replay cost, bit-identity"},
+		{"efficiency", "Observability: scan-budget attribution (ledger causes), convergence speed, zero-perturbation proof"},
 	} {
 		fmt.Printf("  %-7s %s\n", e[0], e[1])
 	}
@@ -160,11 +179,13 @@ func run(args []string) {
 	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON document on stdout instead of text tables")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file of the simulation runs (Perfetto-loadable)")
 	metricsFile := fs.String("metrics", "", "write every run's full metrics snapshot (counters, gauges, histograms) as JSON")
+	seriesFile := fs.String("series", "", "write every run's per-pass time-series samples (counter deltas, gauges) as JSON")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.Parse(args)
 
+	checkArtifactPaths(*traceFile, *metricsFile, *seriesFile)
 	stopProf, err := startProfiling(*cpuProfile, *memProfile, *pprofAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -241,10 +262,14 @@ func run(args []string) {
 	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
-	// -trace arms event recording on every platform run; -json redirects
-	// experiment results into one document instead of printing tables.
+	// -trace arms event recording and -series per-pass sampling on every
+	// platform run; -json redirects experiment results into one document
+	// instead of printing tables.
 	if *traceFile != "" {
 		suite.Cfg.Trace = pageforgesim.NewTracer(pageforgesim.DefaultTraceCapacity)
+	}
+	if *seriesFile != "" {
+		suite.Cfg.Series = pageforgesim.NewSeries(pageforgesim.DefaultSeriesCapacity)
 	}
 	var doc *experiments.Doc
 	if *jsonOut {
@@ -401,6 +426,13 @@ func run(args []string) {
 			emit("crash", r)
 		}
 	}
+	if want("efficiency") {
+		if r, err := pageforgesim.EfficiencyExperiment(suite); err != nil {
+			fail(err)
+		} else {
+			emit("efficiency", r)
+		}
+	}
 	if progress != nil && len(modeSet) > 0 {
 		fmt.Fprintln(os.Stderr, "\n"+progress.Summary())
 	}
@@ -419,6 +451,11 @@ func run(args []string) {
 		if err := writeFileJSON(*metricsFile, func(f *os.File) error {
 			return pageforgesim.NewMetricsDoc(suite).Encode(f)
 		}); err != nil {
+			fail(err)
+		}
+	}
+	if *seriesFile != "" {
+		if err := writeSeries(suite.Cfg.Series, *seriesFile); err != nil {
 			fail(err)
 		}
 	}
@@ -449,6 +486,321 @@ func writeFileJSON(path string, write func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// checkArtifactPaths fails fast — exit status 3, before any simulation work
+// — when an output artifact path cannot be created: discovering an
+// unwritable -trace/-metrics/-series destination after a long run would
+// throw the whole run away. The probe opens without truncating so an
+// existing artifact survives an unrelated later failure.
+func checkArtifactPaths(paths ...string) {
+	for _, p := range paths {
+		if p == "" {
+			continue
+		}
+		f, err := os.OpenFile(p, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: output artifact path is not writable: %v\n", err)
+			os.Exit(3)
+		}
+		f.Close()
+	}
+}
+
+// writeSeries serializes the per-pass series artifact and notes its volume
+// on stderr.
+func writeSeries(s *pageforgesim.Series, path string) error {
+	err := writeFileJSON(path, func(f *os.File) error { return s.WriteJSON(f) })
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "series: %d tracks -> %s\n", len(s.TrackNames()), path)
+	}
+	return err
+}
+
+// explain runs one configuration with the merge-lifecycle provenance ledger
+// attached and replays what it recorded: the attribution summary, the most
+// eventful frames, and — with -pfn — one frame's full history. -json emits
+// the whole ledger as an artifact `pageforge report -ledger` can read.
+func explain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	modeName := fs.String("mode", "PageForge", "engine configuration (KSM or PageForge)")
+	appName := fs.String("app", "img_dnn", "application profile")
+	fast := fs.Bool("fast", true, "scaled-down quick mode")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	pfn := fs.Int64("pfn", -1, "physical frame whose history to replay (-1: summary only)")
+	jsonOut := fs.Bool("json", false, "emit the full ledger document as JSON on stdout")
+	fs.Parse(args)
+
+	var mode platform.Mode
+	switch strings.ToLower(*modeName) {
+	case "ksm":
+		mode = platform.KSM
+	case "pageforge":
+		mode = platform.PageForge
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want KSM or PageForge)\n", *modeName)
+		os.Exit(2)
+	}
+	var suite *experiments.Suite
+	if *fast {
+		suite = pageforgesim.NewFastSuite()
+	} else {
+		suite = pageforgesim.NewSuite()
+	}
+	var app *pageforgesim.Profile
+	for i := range suite.Apps {
+		if suite.Apps[i].Name == *appName {
+			app = &suite.Apps[i]
+		}
+	}
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "unknown application %q\n", *appName)
+		os.Exit(2)
+	}
+
+	cfg := suite.Cfg
+	cfg.Seed = *seed
+	ledger := pageforgesim.NewLedger(0)
+	cfg.Ledger = ledger
+	res, err := pageforgesim.Run(mode, *app, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := ledger.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	at := ledger.Attribution()
+	fmt.Printf("explain: %s/%s seed=%d — %d ledger events (dropped %d), %d passes, %.1f%% memory saved\n",
+		mode, app.Name, *seed, at.Events, at.Dropped, res.ConvergedPasses, res.Footprint.Savings()*100)
+	fmt.Println("\nlifecycle transitions:")
+	for _, k := range sortedKeys(at.Kinds) {
+		fmt.Printf("  %-14s %d\n", k, at.Kinds[k])
+	}
+	if len(at.Causes) > 0 {
+		fmt.Println("\nwasted scan work by cause:")
+		for _, c := range sortedKeys(at.Causes) {
+			fmt.Printf("  %-22s %d\n", c, at.Causes[c])
+		}
+	}
+
+	if *pfn < 0 {
+		// No frame selected: point at the busiest ones so the user knows
+		// which -pfn values have a story to tell.
+		counts := map[uint64]int{}
+		for _, e := range ledger.Events() {
+			if e.PFN != pageforgesim.LedgerNoPFN {
+				counts[e.PFN]++
+			}
+		}
+		type fc struct {
+			pfn uint64
+			n   int
+		}
+		var top []fc
+		for p, n := range counts {
+			top = append(top, fc{p, n})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].n != top[j].n {
+				return top[i].n > top[j].n
+			}
+			return top[i].pfn < top[j].pfn
+		})
+		if len(top) > 10 {
+			top = top[:10]
+		}
+		fmt.Println("\nmost eventful frames (rerun with -pfn N for a full history):")
+		for _, t := range top {
+			fmt.Printf("  frame %-8d %d events\n", t.pfn, t.n)
+		}
+		return
+	}
+
+	hist := ledger.FrameHistory(uint64(*pfn))
+	fmt.Printf("\nframe %d history (%d events):\n", *pfn, len(hist))
+	if len(hist) == 0 {
+		fmt.Println("  (no recorded events touch this frame)")
+	}
+	for _, e := range hist {
+		fmt.Println("  " + formatLedgerEvent(e))
+	}
+}
+
+// sortedKeys returns a string-keyed map's keys in sorted order.
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// formatLedgerEvent renders one provenance event as a human-readable line.
+func formatLedgerEvent(e obs.LedgerEvent) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-6d pass=%-3d %-12s", e.Seq, e.Pass, e.Kind)
+	if e.VM >= 0 {
+		fmt.Fprintf(&b, " vm%d/gfn%d", e.VM, e.GFN)
+	}
+	if e.PFN != obs.LedgerNoPFN {
+		fmt.Fprintf(&b, " pfn=%d", e.PFN)
+	}
+	switch e.Kind {
+	case obs.LKMerged, obs.LKCoWBroken:
+		fmt.Fprintf(&b, " -> frame %d", e.Arg)
+	case obs.LKShed:
+		fmt.Fprintf(&b, " (%d candidates deferred)", e.Arg)
+	case obs.LKRestored:
+		fmt.Fprintf(&b, " (replay resumes at pass %d)", e.Arg)
+	}
+	if e.Cause != obs.CauseNone {
+		fmt.Fprintf(&b, " [%s]", e.Cause)
+	}
+	return b.String()
+}
+
+// report renders previously written observability artifacts: per-pass
+// convergence-curve tables from a -series file, and — with -ledger — the
+// scan-budget attribution recorded by `pageforge explain -json`. It runs no
+// simulation; everything comes from the artifacts.
+func report(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	seriesPath := fs.String("series", "", "series artifact written by `pageforge run -series` (required)")
+	ledgerPath := fs.String("ledger", "", "ledger artifact written by `pageforge explain -json`")
+	trackFilter := fs.String("track", "", "only render tracks whose name contains this substring")
+	fs.Parse(args)
+	if *seriesPath == "" {
+		fmt.Fprintln(os.Stderr, "report: -series file is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*seriesPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	sf, err := obs.ReadSeriesJSON(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+
+	rendered := 0
+	for _, tr := range sf.Tracks {
+		if *trackFilter != "" && !strings.Contains(tr.Name, *trackFilter) {
+			continue
+		}
+		rendered++
+		reportTrack(tr)
+	}
+	if rendered == 0 {
+		fmt.Fprintf(os.Stderr, "report: no tracks matched (artifact has %d)\n", len(sf.Tracks))
+		os.Exit(1)
+	}
+
+	if *ledgerPath != "" {
+		lf, err := os.Open(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		led, err := obs.ReadLedgerJSON(lf)
+		lf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		reportLedger(led)
+	}
+}
+
+// reportTrack renders one track's convergence curve: per-window scan volume,
+// merge/unmerge deltas, the live frame count, and the merge rate — the
+// coverage-vs-cost view of one run.
+func reportTrack(tr obs.SeriesFileTrack) {
+	fmt.Printf("track %s — %d points (dropped %d)\n", tr.Name, len(tr.Points), tr.Dropped)
+	fmt.Printf("  %-12s %10s %10s %8s %8s %9s %12s\n",
+		"window", "Mcycles", "scanned", "merged", "unmerged", "frames", "merges/Mcyc")
+	var scanned, merged uint64
+	for _, p := range tr.Points {
+		scanned += p.Counters["ksm/pages_scanned"]
+		merged += p.Counters["vm/merges"]
+		fmt.Printf("  %-12s %10.1f %10d %8d %8d %9.0f %12.2f\n",
+			fmt.Sprintf("%s %d", p.Phase, p.Index),
+			float64(p.WindowCycles)/1e6,
+			p.Counters["ksm/pages_scanned"],
+			p.Counters["vm/merges"],
+			p.Counters["vm/unmerges"],
+			p.Gauges["platform/frames_allocated"],
+			p.Rates["vm/merges"])
+	}
+	eff := 0.0
+	if scanned > 0 {
+		eff = float64(merged) / float64(scanned) * 1000
+	}
+	fmt.Printf("  total: %d scanned, %d merged (%.1f merges per 1k scanned)\n\n", scanned, merged, eff)
+}
+
+// reportLedger renders a ledger artifact's scan-budget attribution: the
+// lifecycle-transition totals, the wasted-work cause totals, and the
+// per-pass waste breakdown.
+func reportLedger(led *obs.LedgerFile) {
+	at := led.Attribution
+	fmt.Printf("ledger — %d events (dropped %d)\n", at.Events, at.Dropped)
+	fmt.Println("  lifecycle transitions:")
+	for _, k := range sortedKeys(at.Kinds) {
+		fmt.Printf("    %-22s %d\n", k, at.Kinds[k])
+	}
+	if len(at.Causes) > 0 {
+		fmt.Println("  wasted scan work by cause:")
+		for _, c := range sortedKeys(at.Causes) {
+			fmt.Printf("    %-22s %d\n", c, at.Causes[c])
+		}
+	}
+	// Per-pass waste: which passes burned budget, and on what.
+	type waste struct {
+		churn, unstable, fault, shed uint64
+	}
+	perPass := map[int]*waste{}
+	var passes []int
+	for _, e := range led.Events {
+		if e.Cause == "" {
+			continue
+		}
+		w := perPass[e.Pass]
+		if w == nil {
+			w = &waste{}
+			perPass[e.Pass] = w
+			passes = append(passes, e.Pass)
+		}
+		switch e.Cause {
+		case "content_churn":
+			w.churn++
+		case "checksum_instability":
+			w.unstable++
+		case "fault_retry":
+			w.fault++
+		case "backpressure_shed":
+			w.shed++
+		}
+	}
+	if len(passes) == 0 {
+		return
+	}
+	sort.Ints(passes)
+	fmt.Printf("  %-6s %8s %10s %8s %8s\n", "pass", "churn", "unstable", "fault", "shed")
+	for _, p := range passes {
+		w := perPass[p]
+		fmt.Printf("  %-6d %8d %10d %8d %8d\n", p, w.churn, w.unstable, w.fault, w.shed)
+	}
 }
 
 // bench runs the full (mode × app) simulation matrix and writes a
@@ -596,6 +948,22 @@ func perfcheck(args []string) {
 	}
 	if cur.Speedup < 2 {
 		fmt.Fprintln(os.Stderr, "perfcheck: FAIL — speedup below the committed 2x floor")
+		os.Exit(1)
+	}
+
+	// Provenance-overhead gate: the merge-lifecycle ledger must stay nearly
+	// free on the scan hot path. This comparison is absolute and fresh —
+	// ledger-on vs ledger-off on this machine, right now — so it needs no
+	// committed baseline.
+	ov, err := experiments.RunLedgerOverheadBench(experiments.DefaultScanPassConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "perfcheck: ledger overhead %.1f%% (off %.0f, on %.0f pages/s, %d events)\n",
+		ov.Overhead*100, ov.OffPagesPerSec, ov.OnPagesPerSec, ov.Events)
+	if ov.Overhead > *tol {
+		fmt.Fprintf(os.Stderr, "perfcheck: FAIL — provenance ledger costs more than %.0f%% of scan throughput\n", *tol*100)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "perfcheck: OK")

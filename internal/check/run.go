@@ -25,6 +25,12 @@ type Report struct {
 	// equivalence was evaluated; Groups is the shared group count.
 	DiffChecked bool
 	Groups      int
+	// LedgerAudited reports whether the provenance-ledger replay audit ran
+	// (Scenario.LedgerOn and the ring never wrapped); LedgerMappings counts
+	// the guest mappings whose final location the replay pinned down, summed
+	// across both engine modes.
+	LedgerAudited  bool
+	LedgerMappings int
 }
 
 // RunScenario runs one scenario through both dedup engines with full
@@ -44,6 +50,7 @@ func RunScenarioOpts(sc workload.Scenario, opt Options) (*Report, error) {
 	// including while ballooning and throttling are active.
 	converged := sc.FaultFree() && !sc.Pressured() && sc.ConvergePasses >= 2
 
+	rep := &Report{FaultFree: sc.FaultFree()}
 	runMode := func(mode platform.Mode) (*Checker, error) {
 		ck := &Checker{Tamper: opt.Tamper}
 		cfg := sc.Config()
@@ -54,10 +61,19 @@ func RunScenarioOpts(sc workload.Scenario, opt Options) (*Report, error) {
 		if err := ck.Final(converged); err != nil {
 			return ck, err
 		}
+		// Cross-check the provenance ledger's replay against the page tables
+		// (Config() mints a fresh per-run ledger when the scenario asks).
+		if n, audited, err := AuditLedger(cfg.Ledger, ck.hv); audited {
+			rep.LedgerAudited = true
+			rep.LedgerMappings += n
+			if err != nil {
+				return ck, fmt.Errorf("%w (mode %s, scenario %s)", err, mode, sc)
+			}
+		}
 		return ck, nil
 	}
 
-	rep := &Report{Scenario: sc, FaultFree: sc.FaultFree()}
+	rep.Scenario = sc
 	kc, err := runMode(platform.KSM)
 	rep.KSM = kc.Counters
 	if err != nil {

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ksm"
+	"repro/internal/obs"
+	"repro/internal/tailbench"
+)
+
+// LedgerOverheadResult reports the wall-clock cost of merge-lifecycle
+// provenance on the scan hot path: the same sharded scan passes timed with
+// and without a ledger attached.
+type LedgerOverheadResult struct {
+	OffPagesPerSec float64 `json:"off_pages_per_sec"`
+	OnPagesPerSec  float64 `json:"on_pages_per_sec"`
+	// Overhead is the fractional slowdown, (off - on) / off; negative when
+	// the instrumented run happened to be faster (pure noise).
+	Overhead   float64 `json:"overhead_frac"`
+	Events     int     `json:"ledger_events"`
+	Candidates int     `json:"candidates_per_run"`
+}
+
+// RunLedgerOverheadBench measures provenance overhead with a fresh absolute
+// on-vs-off comparison — no committed baseline involved, so the gate is
+// meaningful on any machine. Both sides do identical algorithmic work (same
+// image, same merge decisions, asserted via merge counts); each side runs
+// cfg.Repeats times keeping its best time, the standard defense against
+// scheduler noise. The instrumented side also proves the ledger saw real
+// traffic: a run that recorded no events would gate nothing.
+func RunLedgerOverheadBench(cfg ScanPassConfig) (LedgerOverheadResult, error) {
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 1
+	}
+	run := func(withLedger bool) (cand, events int, merges uint64, minTime time.Duration, err error) {
+		for r := 0; r < cfg.Repeats; r++ {
+			prof := cfg.Profile
+			prof.PagesPerVM = cfg.PagesPerVM
+			img, err := tailbench.BuildImage(prof, cfg.VMs, cfg.VMs*cfg.PagesPerVM*2, cfg.Seed)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			s := ksm.NewScanner(ksm.NewAlgorithmSharded(img.HV, ksm.JHasher{}, cfg.ShardBits), ksm.DefaultCosts())
+			var ldg *obs.Ledger
+			if withLedger {
+				ldg = obs.NewLedger(0)
+				s.Ledger = ldg
+			}
+			c := 0
+			start := time.Now()
+			for p := 0; p < cfg.Passes; p++ {
+				ldg.SetPass(p)
+				res := s.ScanPass(cfg.Workers)
+				c += res.Scanned
+				img.ChurnVolatile()
+			}
+			d := time.Since(start)
+			if r == 0 || d < minTime {
+				minTime = d
+			}
+			cand, merges = c, img.HV.Merges
+			events = ldg.Len() + int(ldg.Dropped())
+		}
+		return cand, events, merges, minTime, nil
+	}
+
+	offCand, _, offMerges, offTime, err := run(false)
+	if err != nil {
+		return LedgerOverheadResult{}, err
+	}
+	onCand, onEvents, onMerges, onTime, err := run(true)
+	if err != nil {
+		return LedgerOverheadResult{}, err
+	}
+	if offCand != onCand || offMerges != onMerges {
+		return LedgerOverheadResult{}, fmt.Errorf(
+			"ledgerbench: instrumented run diverged (candidates %d/%d, merges %d/%d) — the ledger perturbed the scan",
+			offCand, onCand, offMerges, onMerges)
+	}
+	if onEvents == 0 {
+		return LedgerOverheadResult{}, fmt.Errorf("ledgerbench: instrumented run recorded no ledger events")
+	}
+	res := LedgerOverheadResult{
+		OffPagesPerSec: float64(offCand) / offTime.Seconds(),
+		OnPagesPerSec:  float64(onCand) / onTime.Seconds(),
+		Events:         onEvents,
+		Candidates:     offCand,
+	}
+	res.Overhead = (res.OffPagesPerSec - res.OnPagesPerSec) / res.OffPagesPerSec
+	return res, nil
+}

@@ -277,55 +277,73 @@ func (a *Algorithm) SkipCandidate(id vm.PageID) bool {
 	return f.CoW() && f.Refs() > 1 // already sharing a stable page
 }
 
+// HashOutcome classifies one hash change-detection check. The lifecycle
+// ledger cares about the three-way split: only HashChanged is wasted work
+// attributable to content churn (a first sighting is warm-up, not waste).
+type HashOutcome uint8
+
+const (
+	HashFirst   HashOutcome = iota // first sighting: no previous key
+	HashSame                       // key matches the previous pass
+	HashChanged                    // key differs: the page churned
+)
+
+// Changed reports whether the outcome precludes an unstable-tree search.
+func (o HashOutcome) Changed() bool { return o != HashSame }
+
+// recordKey updates a page's hash-tracking state with a freshly computed
+// key and classifies the check — the shared body of HashCheckOutcome and
+// RecordHashOutcome.
+func (a *Algorithm) recordKey(it *rmapItem, id vm.PageID, key uint32) HashOutcome {
+	var out HashOutcome
+	switch {
+	case !it.hasHash:
+		bump(&a.Stats.HashFirstSeen)
+		out = HashFirst
+	case it.oldHash == key:
+		bump(&a.Stats.HashMatches)
+		out = HashSame
+	default:
+		bump(&a.Stats.HashMismatches)
+		out = HashChanged
+	}
+	it.oldHash = key
+	it.hasHash = true
+	a.noteHashOutcome(id, out.Changed())
+	return out
+}
+
+// HashCheckOutcome computes the candidate's hash key and compares it with
+// the key from the previous pass, recording the new key either way.
+func (a *Algorithm) HashCheckOutcome(id vm.PageID) (HashOutcome, int) {
+	pfn, ok := a.HV.Resolve(id)
+	if !ok {
+		return HashChanged, 0
+	}
+	key := a.Hasher.PageKey(a.HV.Phys.Page(pfn))
+	return a.recordKey(a.item(id), id, key), a.Hasher.BytesRead()
+}
+
 // HashCheck computes the candidate's hash key and compares it with the key
 // from the previous pass. It returns changed=false only when the page has a
 // previous key and it matches — the precondition for searching the unstable
 // tree. The new key is recorded either way.
 func (a *Algorithm) HashCheck(id vm.PageID) (changed bool, bytesRead int) {
-	pfn, ok := a.HV.Resolve(id)
-	if !ok {
-		return true, 0
-	}
-	it := a.item(id)
-	key := a.Hasher.PageKey(a.HV.Phys.Page(pfn))
-	bytesRead = a.Hasher.BytesRead()
-	switch {
-	case !it.hasHash:
-		bump(&a.Stats.HashFirstSeen)
-		changed = true
-	case it.oldHash == key:
-		bump(&a.Stats.HashMatches)
-		changed = false
-	default:
-		bump(&a.Stats.HashMismatches)
-		changed = true
-	}
-	it.oldHash = key
-	it.hasHash = true
-	a.noteHashOutcome(id, changed)
-	return changed, bytesRead
+	o, n := a.HashCheckOutcome(id)
+	return o.Changed(), n
 }
 
-// RecordHash stores an externally computed hash key (the PageForge driver
-// receives the key from hardware instead of computing it) and reports
-// whether the page changed since the last pass.
+// RecordHashOutcome stores an externally computed hash key (the PageForge
+// driver receives the key from hardware instead of computing it) and
+// classifies the change check.
+func (a *Algorithm) RecordHashOutcome(id vm.PageID, key uint32) HashOutcome {
+	return a.recordKey(a.item(id), id, key)
+}
+
+// RecordHash stores an externally computed hash key and reports whether the
+// page changed since the last pass.
 func (a *Algorithm) RecordHash(id vm.PageID, key uint32) (changed bool) {
-	it := a.item(id)
-	switch {
-	case !it.hasHash:
-		bump(&a.Stats.HashFirstSeen)
-		changed = true
-	case it.oldHash == key:
-		bump(&a.Stats.HashMatches)
-		changed = false
-	default:
-		bump(&a.Stats.HashMismatches)
-		changed = true
-	}
-	it.oldHash = key
-	it.hasHash = true
-	a.noteHashOutcome(id, changed)
-	return changed
+	return a.RecordHashOutcome(id, key).Changed()
 }
 
 // MergeIntoStable merges the candidate with the stable node's frame.

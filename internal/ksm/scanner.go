@@ -64,6 +64,13 @@ type Scanner struct {
 	Trace    obs.Scope
 	TraceNow func() uint64
 
+	// Ledger receives merge-lifecycle events when enabled. Workers of a
+	// parallel pass never touch it directly: events ride the per-shard
+	// accumulators and flush in canonical shard order at the join, so the
+	// sequence is deterministic at any worker count (shard-major under
+	// ScanPass, scan-order under sequential ScanOne).
+	Ledger *obs.Ledger
+
 	// Cycles is the cumulative core-cycle consumption, broken down.
 	Cycles CycleBreakdown
 	// BytesTouched is the page data streamed through the core's caches
@@ -92,15 +99,24 @@ type scanAcct struct {
 	cycles       CycleBreakdown
 	bytesTouched uint64
 	dramBytes    uint64
+	events       []obs.LedgerEvent
 }
 
-// apply folds an accumulator into the scanner's cumulative counters.
+// event buffers one lifecycle event for the flush at apply time.
+func (ac *scanAcct) event(e obs.LedgerEvent) { ac.events = append(ac.events, e) }
+
+// apply folds an accumulator into the scanner's cumulative counters and
+// flushes its buffered lifecycle events.
 func (s *Scanner) apply(ac *scanAcct) {
 	s.Cycles.Compare += ac.cycles.Compare
 	s.Cycles.Hash += ac.cycles.Hash
 	s.Cycles.Other += ac.cycles.Other
 	s.BytesTouched += ac.bytesTouched
 	s.DRAMBytes += ac.dramBytes
+	if len(ac.events) > 0 {
+		s.Ledger.AppendAll(ac.events)
+		ac.events = ac.events[:0]
+	}
 }
 
 // BatchResult summarizes one work interval (pages_to_scan candidates) or
@@ -184,11 +200,25 @@ func (s *Scanner) scanCandidate(id vm.PageID, ac *scanAcct) (merged bool) {
 	if a.SmartSkip(id) {
 		return false
 	}
+	ldg := s.Ledger.Enabled()
+	var candPFN uint64
+	if ldg {
+		if p, rok := a.HV.Resolve(id); rok {
+			candPFN = uint64(p)
+			ac.event(obs.LedgerEvent{Kind: obs.LKScanned, VM: id.VM, GFN: uint64(id.GFN), PFN: candPFN})
+		} else {
+			ldg = false
+		}
+	}
 	if a.Options().UseZeroPages {
 		zeroMerged, scanned := a.TryMergeZero(id)
 		s.chargeCompare(ac, uint64(scanned))
 		if zeroMerged {
 			ac.cycles.Other += s.Costs.MergeOverhead
+			if ldg {
+				zf, _ := a.ZeroPFN()
+				ac.event(obs.LedgerEvent{Kind: obs.LKMerged, VM: id.VM, GFN: uint64(id.GFN), PFN: candPFN, Arg: uint64(zf)})
+			}
 			return true
 		}
 	}
@@ -219,36 +249,58 @@ func (s *Scanner) scanCandidate(id vm.PageID, ac *scanAcct) (merged bool) {
 	s.chargeCompare(ac, stable.BytesCompared-cmpBytes)
 
 	if node != nil && node.PFN != pfn {
+		stablePFN := uint64(node.PFN)
 		n, mok := a.MergeIntoStable(id, node)
 		s.chargeVerify(ac, uint64(n)) // the final write-protected compare
 		if mok {
 			ac.cycles.Other += s.Costs.MergeOverhead
+			if ldg {
+				ac.event(obs.LedgerEvent{Kind: obs.LKMerged, VM: id.VM, GFN: uint64(id.GFN), PFN: candPFN, Arg: stablePFN})
+			}
 			return true
+		}
+		if ldg {
+			ac.event(obs.LedgerEvent{Kind: obs.LKMergeFailed, Cause: obs.CauseChecksumInstability, VM: id.VM, GFN: uint64(id.GFN), PFN: candPFN, Arg: stablePFN})
 		}
 		return false
 	}
 
 	// Not in the stable tree: hash-based change detection (lines 11-12).
-	changed, bytesRead := a.HashCheck(id)
+	outcome, bytesRead := a.HashCheckOutcome(id)
 	hashed = bytesRead
 	s.chargeHash(ac, uint64(bytesRead))
-	if changed {
+	if outcome.Changed() {
 		// Modified since last pass (or first sighting): drop it (line 22).
+		if ldg && outcome == HashChanged {
+			ac.event(obs.LedgerEvent{Kind: obs.LKChurned, Cause: obs.CauseContentChurn, VM: id.VM, GFN: uint64(id.GFN), PFN: candPFN})
+		}
 		return false
 	}
 
 	// Search the unstable tree, inserting on miss (lines 13-20).
 	unstable := a.Unstable.Shard(shard)
 	cmpBytes = unstable.BytesCompared
-	match, _ := a.UnstableSearchOrInsert(id)
+	match, inserted := a.UnstableSearchOrInsert(id)
 	s.chargeCompare(ac, unstable.BytesCompared-cmpBytes)
 	if match != nil {
+		matchPFN := uint64(match.PFN)
 		n, mok := a.MergeWithUnstable(id, match)
 		s.chargeVerify(ac, uint64(n))
 		if mok {
 			ac.cycles.Other += s.Costs.MergeOverhead
+			if ldg {
+				ac.event(obs.LedgerEvent{Kind: obs.LKMerged, VM: id.VM, GFN: uint64(id.GFN), PFN: candPFN, Arg: matchPFN})
+				ac.event(obs.LedgerEvent{Kind: obs.LKStable, VM: -1, PFN: matchPFN})
+			}
 			return true
 		}
+		if ldg {
+			ac.event(obs.LedgerEvent{Kind: obs.LKMergeFailed, Cause: obs.CauseChecksumInstability, VM: id.VM, GFN: uint64(id.GFN), PFN: candPFN, Arg: matchPFN})
+		}
+		return false
+	}
+	if ldg && inserted {
+		ac.event(obs.LedgerEvent{Kind: obs.LKUnstable, VM: id.VM, GFN: uint64(id.GFN), PFN: candPFN})
 	}
 	return false
 }

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file is the read side of the observability artifacts: `pageforge
+// report` consumes a -series file (and optionally an explain-exported ledger
+// file) long after the run that produced them is gone, so the on-disk shapes
+// get exported parse types with schema validation. The *File types mirror the
+// writers' JSON field-for-field; keep them in lockstep with series.go and
+// ledger.go.
+
+// SeriesFilePoint is one sampled window as stored in a -series artifact:
+// per-window counter deltas, instantaneous gauges, and the derived
+// per-megacycle rates the writer adds at export time.
+type SeriesFilePoint struct {
+	Phase        string             `json:"phase"`
+	Index        int                `json:"index"`
+	Cycles       uint64             `json:"cycles"`
+	WindowCycles uint64             `json:"windowCycles"`
+	Counters     map[string]uint64  `json:"counters,omitempty"`
+	Gauges       map[string]float64 `json:"gauges,omitempty"`
+	Rates        map[string]float64 `json:"ratesPerMcycle,omitempty"`
+}
+
+// SeriesFileTrack is one run's point sequence as stored in the artifact.
+type SeriesFileTrack struct {
+	Name    string            `json:"name"`
+	Dropped uint64            `json:"dropped"`
+	Points  []SeriesFilePoint `json:"points"`
+}
+
+// SeriesFile is a parsed -series artifact.
+type SeriesFile struct {
+	Schema string            `json:"schema"`
+	Tracks []SeriesFileTrack `json:"tracks"`
+}
+
+// ReadSeriesJSON parses a -series artifact, rejecting unknown schemas.
+func ReadSeriesJSON(r io.Reader) (*SeriesFile, error) {
+	var f SeriesFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("obs: series artifact: %w", err)
+	}
+	if f.Schema != SeriesSchema {
+		return nil, fmt.Errorf("obs: series artifact schema %q, want %q", f.Schema, SeriesSchema)
+	}
+	return &f, nil
+}
+
+// LedgerFileEvent is one provenance event as stored in a ledger artifact
+// (kind and cause by name, the way LedgerEvent marshals).
+type LedgerFileEvent struct {
+	Seq   uint64 `json:"seq"`
+	Pass  int    `json:"pass"`
+	Kind  string `json:"kind"`
+	Cause string `json:"cause,omitempty"`
+	VM    int    `json:"vm"`
+	GFN   uint64 `json:"gfn"`
+	PFN   uint64 `json:"pfn"`
+	Arg   uint64 `json:"arg,omitempty"`
+}
+
+// LedgerFile is a parsed ledger artifact (`pageforge explain -json`).
+type LedgerFile struct {
+	Schema      string            `json:"schema"`
+	Attribution Attribution       `json:"attribution"`
+	Events      []LedgerFileEvent `json:"events"`
+}
+
+// ReadLedgerJSON parses a ledger artifact, rejecting unknown schemas.
+func ReadLedgerJSON(r io.Reader) (*LedgerFile, error) {
+	var f LedgerFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("obs: ledger artifact: %w", err)
+	}
+	if f.Schema != LedgerSchema {
+		return nil, fmt.Errorf("obs: ledger artifact schema %q, want %q", f.Schema, LedgerSchema)
+	}
+	return &f, nil
+}

@@ -101,6 +101,17 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// HasCounter reports whether a counter with the name has been registered.
+// Publishers that elide zero-valued families on first publish use it to
+// keep re-publishing a name once it exists: a replayed pass after a crash
+// restore would otherwise leave a stale future value in the registry.
+func (r *Registry) HasCounter(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.counters[name]
+	return ok
+}
+
 // SetCounter is shorthand for Counter(name).Set(v), the idiom for
 // publishing a module's cumulative stats struct at end of run.
 func (r *Registry) SetCounter(name string, v uint64) { r.Counter(name).Set(v) }

@@ -31,6 +31,46 @@ func TestTracerRingWraparound(t *testing.T) {
 	}
 }
 
+// TestTracerDroppedSurfacesInJSON: a wrapped ring must disclose its loss at
+// the artifact boundary — otherwise a truncated trace reads as a complete
+// one. The count rides the Chrome trace_event otherData section.
+func TestTracerDroppedSurfacesInJSON(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 9; i++ {
+		tr.Emit(Event{TS: uint64(i), Ph: 'i', Name: "e"})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := doc.OtherData["droppedEvents"].(float64); got != 5 {
+		t.Fatalf("otherData.droppedEvents=%v want 5", doc.OtherData["droppedEvents"])
+	}
+
+	// And an unwrapped trace must NOT claim drops.
+	clean := NewTracer(16)
+	clean.Emit(Event{Ph: 'i', Name: "e"})
+	buf.Reset()
+	if err := clean.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc2 struct {
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc2.OtherData["droppedEvents"]; ok {
+		t.Fatal("clean trace reports droppedEvents")
+	}
+}
+
 func TestTracerNilIsNoop(t *testing.T) {
 	var tr *Tracer
 	if tr.Enabled() {

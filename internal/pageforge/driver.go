@@ -67,6 +67,10 @@ type Driver struct {
 	// Trace receives per-search and per-merge events when enabled.
 	Trace obs.Scope
 
+	// Ledger receives merge-lifecycle events when enabled. The driver is
+	// strictly sequential, so it appends directly.
+	Ledger *obs.Ledger
+
 	// CoreCycles is the total processor time consumed by the driver
 	// (polls, table refills, merge bookkeeping).
 	CoreCycles uint64
@@ -224,7 +228,7 @@ func (d *Driver) searchTree(cand mem.PFN, root *rbtree.Node, now uint64, first, 
 // after both pages have been write-protected — the algorithm's "second
 // comparison ... to protect against racing writes" — using a single-entry
 // Scan Table batch. It reports whether the pages are still identical.
-func (d *Driver) verifyMatch(cand, match mem.PFN, now uint64) (bool, uint64) {
+func (d *Driver) verifyMatch(id vm.PageID, cand, match mem.PFN, now uint64) (bool, uint64) {
 	d.Alg.HV.WriteProtect(cand)
 	d.Alg.HV.WriteProtect(match)
 	d.HW.InsertPPN(0, match, InvalidIndex, InvalidIndex)
@@ -237,6 +241,9 @@ func (d *Driver) verifyMatch(cand, match mem.PFN, now uint64) (bool, uint64) {
 		d.SWFallbacks++
 		d.Alg.Stats.FaultFallbacks++
 		d.quarantinePFN(cand)
+		if d.Ledger.Enabled() {
+			d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKQuarantined, Cause: obs.CauseFaultRetry, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(cand)})
+		}
 		d.CoreCycles += d.Cfg.FallbackCost
 		same, _ := d.Alg.HV.Phys.SamePage(cand, match)
 		if !same {
@@ -265,6 +272,10 @@ func (d *Driver) faultFallback(id vm.PageID, pfn mem.PFN, recordHash bool, now u
 	d.SWFallbacks++
 	d.Alg.Stats.FaultFallbacks++
 	d.quarantinePFN(pfn)
+	ldg := d.Ledger.Enabled()
+	if ldg {
+		d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKQuarantined, Cause: obs.CauseFaultRetry, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn)})
+	}
 	d.CoreCycles += d.Cfg.FallbackCost
 	now += d.Cfg.FallbackCost
 	if d.Trace.Enabled() {
@@ -274,9 +285,16 @@ func (d *Driver) faultFallback(id vm.PageID, pfn mem.PFN, recordHash bool, now u
 	if node := a.Stable.Lookup(pfn); node != nil && node.PFN != pfn {
 		// Merging into stable releases the suspect frame: its mappers are
 		// repointed at the stable copy and the bad cells leave service.
+		stablePFN := uint64(node.PFN)
 		if _, mok := a.MergeIntoStable(id, node); mok {
 			d.CoreCycles += d.Cfg.MergeCost
+			if ldg {
+				d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMerged, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: stablePFN})
+			}
 			return true, now
+		}
+		if ldg {
+			d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMergeFailed, Cause: obs.CauseFaultRetry, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: stablePFN})
 		}
 		return false, now
 	}
@@ -323,6 +341,10 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 		d.QuarantineSkips++
 		return false, now, true
 	}
+	ldg := d.Ledger.Enabled()
+	if ldg {
+		d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKScanned, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn)})
+	}
 
 	first := true
 	if a.Options().UseZeroPages {
@@ -339,9 +361,17 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 				merged, t := d.faultFallback(id, pfn, true, now)
 				return merged, t, true
 			}
-			if info.Duplicate && a.MergeWithZeroFrame(id) {
-				d.CoreCycles += d.Cfg.MergeCost
-				return true, now, true
+			if info.Duplicate {
+				if a.MergeWithZeroFrame(id) {
+					d.CoreCycles += d.Cfg.MergeCost
+					if ldg {
+						d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMerged, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: uint64(zf)})
+					}
+					return true, now, true
+				}
+				if ldg {
+					d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMergeFailed, Cause: obs.CauseChecksumInstability, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: uint64(zf)})
+				}
 			}
 		}
 	}
@@ -355,15 +385,25 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 		return merged, t, true
 	}
 	if !notFound && res.match.PFN != pfn {
-		same, t := d.verifyMatch(pfn, res.match.PFN, now)
+		stablePFN := uint64(res.match.PFN)
+		same, t := d.verifyMatch(id, pfn, res.match.PFN, now)
 		now = t
 		if !same {
 			a.Stats.FailedMerges++
+			if ldg {
+				d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMergeFailed, Cause: obs.CauseChecksumInstability, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: stablePFN})
+			}
 			return false, now, true
 		}
 		if _, mok := a.MergeIntoStable(id, res.match); mok {
 			d.CoreCycles += d.Cfg.MergeCost
+			if ldg {
+				d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMerged, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: stablePFN})
+			}
 			return true, now, true
+		}
+		if ldg {
+			d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMergeFailed, Cause: obs.CauseChecksumInstability, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: stablePFN})
 		}
 		return false, now, true
 	}
@@ -378,7 +418,10 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 	if !info.HashReady {
 		panic("pageforge: hash key not ready after stable search")
 	}
-	if changed := a.RecordHash(id, info.Hash); changed {
+	if outcome := a.RecordHashOutcome(id, info.Hash); outcome.Changed() {
+		if ldg && outcome == ksm.HashChanged {
+			d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKChurned, Cause: obs.CauseContentChurn, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn)})
+		}
 		return false, now, true
 	}
 
@@ -390,23 +433,39 @@ func (d *Driver) ScanOne(now uint64) (merged bool, doneAt uint64, ok bool) {
 		return merged, t, true
 	}
 	if !notFound {
+		matchPFN := uint64(res.match.PFN)
 		if !a.ValidUnstableMatch(res.match) {
 			a.Stats.StaleUnstable++
+			if ldg {
+				d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMergeFailed, Cause: obs.CauseChecksumInstability, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: matchPFN})
+			}
 			return false, now, true
 		}
-		same, t := d.verifyMatch(pfn, res.match.PFN, now)
+		same, t := d.verifyMatch(id, pfn, res.match.PFN, now)
 		now = t
 		if !same {
 			a.Stats.FailedMerges++
+			if ldg {
+				d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMergeFailed, Cause: obs.CauseChecksumInstability, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: matchPFN})
+			}
 			return false, now, true
 		}
 		if _, mok := a.MergeWithUnstable(id, res.match); mok {
 			d.CoreCycles += d.Cfg.MergeCost
+			if ldg {
+				d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMerged, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: matchPFN})
+				d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKStable, VM: -1, PFN: matchPFN})
+			}
 			return true, now, true
+		}
+		if ldg {
+			d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKMergeFailed, Cause: obs.CauseChecksumInstability, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn), Arg: matchPFN})
 		}
 		return false, now, true
 	}
-	a.UnstableInsert(id)
+	if a.UnstableInsert(id) != nil && ldg {
+		d.Ledger.Append(obs.LedgerEvent{Kind: obs.LKUnstable, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn)})
+	}
 	return false, now, true
 }
 

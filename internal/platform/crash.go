@@ -169,6 +169,14 @@ type worldPayload struct {
 	// Engine-selection history.
 	DegradedAtPass   int
 	RepromotedAtPass int
+
+	// Observability artifacts. The per-pass series track and the provenance
+	// ledger are part of the world: replayed passes re-sample and re-append,
+	// so the restore must rewind them or the replay would duplicate entries.
+	HasSeries bool
+	Series    obs.SeriesTrackState
+	HasLedger bool
+	Ledger    obs.LedgerState
 }
 
 // crashEnv binds the crash machinery to one run's live objects, including
@@ -189,6 +197,8 @@ type crashEnv struct {
 
 	hwDriver   *pageforge.Driver
 	ksmScanner *ksm.Scanner
+	track      *obs.SeriesTrack // per-run series track; may be nil
+	ledger     *obs.Ledger      // provenance ledger; may be nil
 
 	scanner      **ksm.Scanner
 	driver       **pageforge.Driver
@@ -298,6 +308,14 @@ func (cs *crashState) capture(p int) ([]byte, error) {
 		w.PSLastAllocs = env.ps.lastAllocs
 		w.PSReport = env.ps.rep
 	}
+	if env.track != nil {
+		w.HasSeries = true
+		w.Series = env.track.State()
+	}
+	if env.ledger.Enabled() {
+		w.HasLedger = true
+		w.Ledger = env.ledger.State()
+	}
 	return snapshot.Encode(crashSnapshotVersion, w)
 }
 
@@ -374,6 +392,12 @@ func (cs *crashState) restore(blob []byte, pass int) error {
 	}
 	env.es.degradedAtPass = w.DegradedAtPass
 	env.es.repromotedAtPass = w.RepromotedAtPass
+	if env.track != nil && w.HasSeries {
+		env.track.SetState(w.Series)
+	}
+	if env.ledger.Enabled() && w.HasLedger {
+		env.ledger.SetState(w.Ledger)
+	}
 
 	*env.now = w.Now
 	*env.clk = w.Clk
@@ -502,6 +526,13 @@ func (cs *crashState) crashAt(p int) (int, error) {
 	cs.rep.Restores++
 	cs.rep.ReplayedPasses += p - restoredPass
 	cs.rep.RemergedPages += mergesAtCrash - env.img.HV.Merges
+	// Mark the rewind in the provenance stream: replayed passes re-append
+	// their events on top of the restored ring, and the marker lets ledger
+	// consumers (and crashed-vs-uninterrupted comparisons) find the seam.
+	// Arg is the restored-to pass + 1, so the boot checkpoint (-1) encodes
+	// as 0 in an unsigned field.
+	env.ledger.Append(obs.LedgerEvent{Kind: obs.LKRestored, VM: -1,
+		PFN: obs.LedgerNoPFN, Arg: uint64(restoredPass + 1)})
 	if cs.obs != nil {
 		cs.obs.Restored(restoredPass)
 	}

@@ -73,6 +73,12 @@ type measurement struct {
 	// verify, when set, runs after each completed interval (post-churn); a
 	// non-nil error aborts the measurement.
 	verify func(k int) error
+
+	// ledger, when non-nil, receives the pass stamp for each interval
+	// (continuing the converge pass numbering); sample, when set, takes one
+	// series sample at each interval boundary. Both are purely observational.
+	ledger *obs.Ledger
+	sample func(k int, end uint64)
 }
 
 // pumpFetcher wraps the memory controller's fetch service: before each
@@ -180,6 +186,7 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error 
 			m.demandLat.Reset()
 		}
 		measuring := k >= warmupIntervals
+		m.ledger.SetPass(m.cfg.ConvergePasses + k)
 		if m.onInterval != nil {
 			m.onInterval(start)
 		}
@@ -297,6 +304,9 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error 
 			// latency backpressure, then watermarks and the ladder. Window
 			// stamps continue the converge pass numbering.
 			m.ps.observeInterval(m.cfg.ConvergePasses+k, end, m.demandLat.P99())
+		}
+		if m.sample != nil {
+			m.sample(k, end)
 		}
 		if m.verify != nil {
 			if err := m.verify(k); err != nil {

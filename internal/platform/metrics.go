@@ -9,17 +9,20 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/obs"
 	"repro/internal/pageforge"
+	"repro/internal/tailbench"
 )
 
-// publishMetrics copies every simulation layer's end-of-run counters into
+// publishMetrics copies every simulation layer's cumulative counters into
 // the registry, under stable slash-separated names, so one Snapshot carries
-// the whole machine state for -metrics / -json export. It runs once at the
-// end of a run: the layers keep their own plain counters on the hot paths
-// (an atomic per DRAM access would be pure overhead) and the registry is
-// the export boundary.
+// the whole machine state for -metrics / -json export. The layers keep
+// their own plain counters on the hot paths (an atomic per DRAM access
+// would be pure overhead) and the registry is the export boundary. Every
+// publish is an idempotent overwrite: the end-of-run call produces the
+// exported snapshot, and the per-pass series sampler may call it any number
+// of times before that without perturbing the final values.
 func publishMetrics(reg *obs.Registry, mc *memctrl.Controller, dr *dram.DRAM,
 	hier *cache.Hierarchy, scanner *ksm.Scanner, driver *pageforge.Driver, ras *rasState,
-	ps *pressureState) {
+	ps *pressureState, img *tailbench.Image) {
 
 	// Memory controller: demand traffic, PageForge fetch routing,
 	// coalescing, and the ECC pipe.
@@ -51,18 +54,33 @@ func publishMetrics(reg *obs.Registry, mc *memctrl.Controller, dr *dram.DRAM,
 		reg.SetCounter("dram/bank_wait_cycles/"+s.String(), ds.BankWaitBySrc[s])
 		reg.SetCounter("dram/bus_wait_cycles/"+s.String(), ds.BusWaitBySrc[s])
 	}
-	// Per-bank counters, zero banks elided (geometry is 128 banks; runs
-	// touch a fraction and an all-zeros dump would drown the snapshot).
+	// Per-bank counters, zero banks elided on first publish (geometry is 128
+	// banks; runs touch a fraction and an all-zeros dump would drown the
+	// snapshot). Once a bank's name exists it keeps being republished even
+	// at zero: the series sampler publishes mid-run and a crash restore
+	// rewinds the bank counters, so a name published in the doomed timeline
+	// must be overwritten with the replayed value — skipping it would leak a
+	// stale future value into the next sample's delta.
 	for ch, banks := range dr.BankAccesses() {
 		hits := dr.BankRowHits()[ch]
 		for b, n := range banks {
-			if n == 0 {
+			name := fmt.Sprintf("dram/bank/%d.%d/accesses", ch, b)
+			if n == 0 && !reg.HasCounter(name) {
 				continue
 			}
-			reg.SetCounter(fmt.Sprintf("dram/bank/%d.%d/accesses", ch, b), n)
+			reg.SetCounter(name, n)
 			reg.SetCounter(fmt.Sprintf("dram/bank/%d.%d/row_hits", ch, b), hits[b])
 		}
 	}
+
+	// Hypervisor and arena occupancy: the per-pass series plots its
+	// convergence curves from these (merges vs CoW breaks vs allocated
+	// frames), so they are published here, not derived from Result fields.
+	hv := img.HV
+	reg.SetCounter("vm/merges", hv.Merges)
+	reg.SetCounter("vm/unmerges", hv.Unmerges)
+	reg.SetCounter("vm/alloc_stalls", hv.AllocStalls)
+	reg.SetGauge("platform/frames_allocated", float64(hv.Phys.AllocatedFrames()))
 
 	// Shared cache.
 	l3 := hier.L3()

@@ -15,12 +15,14 @@ import (
 	"repro/internal/dram"
 	"repro/internal/faults"
 	"repro/internal/ksm"
+	"repro/internal/mem"
 	"repro/internal/memctrl"
 	"repro/internal/obs"
 	"repro/internal/pageforge"
 	"repro/internal/pressure"
 	"repro/internal/sim"
 	"repro/internal/tailbench"
+	"repro/internal/vm"
 )
 
 // Mode selects the evaluated configuration.
@@ -133,6 +135,22 @@ type Config struct {
 	// an untraced one. The tracer may be shared by parallel runs; each run
 	// registers its own trace process.
 	Trace *obs.Tracer
+
+	// Series, when non-nil, receives one sample of the full metric registry
+	// at every convergence-pass and measurement-interval boundary — windowed
+	// counter deltas plus instantaneous gauges — under a per-run track named
+	// "<mode>/<app>". Like Trace it is purely observational: a sampled run
+	// produces bit-identical Results to an unsampled one, and the samples
+	// live outside Result so the identity stays testable by DeepEqual.
+	Series *obs.Series
+
+	// Ledger, when non-nil, records the merge-lifecycle provenance stream:
+	// every frame transition (scanned, unstable, stable, merged, CoW-broken,
+	// quarantined, ballooned, shed, ...) with a wasted-work cause attached
+	// where the transition is a failure. A ledger is per-run, never shared.
+	// Purely observational — a ledgered run produces bit-identical Results
+	// to an unledgered one.
+	Ledger *obs.Ledger
 
 	// Verifier, when non-nil, receives model-based checking callbacks: once
 	// at image build (BeginRun) and at every convergence pass and
@@ -384,11 +402,31 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		scanner = ksm.NewScanner(ksm.NewAlgorithmSharded(img.HV, ksm.JHasher{}, cfg.ShardBits), cfg.KSMCosts)
 		scanner.Trace = sc
 		scanner.TraceNow = func() uint64 { return clock }
+		scanner.Ledger = cfg.Ledger
 	case PageForge:
 		engine := pageforge.NewEngine(pump)
 		engine.Trace = sc
 		driver = pageforge.NewDriver(ksm.NewAlgorithmSharded(img.HV, ksm.NewECCHasher(), cfg.ShardBits), engine, cfg.Driver)
 		driver.Trace = sc
+		driver.Ledger = cfg.Ledger
+	}
+	// Provenance: wire the hypervisor seams the engines cannot see — CoW
+	// breaks on guest writes, and evictions split into balloon reclaims vs
+	// plain releases by the pressure layer's in-reclaim flag. Installed only
+	// when ledgering so the unledgered hot paths keep their nil-hook branch.
+	if cfg.Ledger.Enabled() {
+		ldg := cfg.Ledger
+		img.HV.OnCoWBreak = func(id vm.PageID, old, fresh mem.PFN) {
+			ldg.Append(obs.LedgerEvent{Kind: obs.LKCoWBroken, VM: id.VM,
+				GFN: uint64(id.GFN), PFN: uint64(old), Arg: uint64(fresh)})
+		}
+		img.HV.OnEvict = func(id vm.PageID, pfn mem.PFN) {
+			kind := obs.LKEvicted
+			if ps != nil && ps.inReclaim {
+				kind = obs.LKBallooned
+			}
+			ldg.Append(obs.LedgerEvent{Kind: kind, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn)})
+		}
 	}
 
 	// --- Phase 1: converge to the merging steady state, churning volatile
@@ -398,6 +436,23 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	// pfDriver keeps the hardware driver reachable for statistics even when
 	// the degradation policy swaps the live engine to software KSM.
 	pfDriver := driver
+	// Per-pass time series: one track per run, sampled at every convergence
+	// and measurement boundary. A sample re-publishes the cumulative layer
+	// counters into the registry — publishMetrics is an idempotent overwrite
+	// and the end-of-run publish below rewrites every name, so mid-run
+	// publishes cannot perturb the final snapshot — then lets the track
+	// window them into deltas.
+	var track *obs.SeriesTrack
+	if cfg.Series.Enabled() {
+		track = cfg.Series.Track(fmt.Sprintf("%s/%s", mode, app.Name))
+	}
+	sample := func(phase string, idx int, now uint64, sw *ksm.Scanner) {
+		if track == nil {
+			return
+		}
+		publishMetrics(reg, mc, dr, hier, sw, pfDriver, ras, ps, img)
+		track.Sample(phase, idx, now, reg)
+	}
 	// Crash tolerance: checkpoint/restore machinery, armed only when a crash
 	// schedule or a checkpoint cadence is configured. Baseline has no dedup
 	// state to recover (and no convergence phase to crash in).
@@ -406,11 +461,12 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		cs = newCrashState(cfg, &crashEnv{
 			mode: mode, img: img, hier: hier, dr: dr, mc: mc,
 			ras: ras, ps: ps, es: es, sc: sc,
+			track: track, ledger: cfg.Ledger,
 		})
 	}
 	if mode != Baseline {
 		var passes int
-		passes, res.DedupGBps, scanner, driver, err = converge(img, scanner, driver, dr, cfg, ras, ps, es, cs, sc, &clock, verify)
+		passes, res.DedupGBps, scanner, driver, err = converge(img, scanner, driver, dr, cfg, ras, ps, es, cs, sc, &clock, verify, sample)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -428,6 +484,8 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 	meas.pump = pump
 	meas.trace = sc
 	meas.ps = ps
+	meas.ledger = cfg.Ledger
+	meas.sample = func(k int, end uint64) { sample("measure", k, end, scanner) }
 	if ras != nil {
 		// Patrol scrub keeps running through the measurement phase as
 		// background DRAM traffic; the tracker keeps refining the UE-rate
@@ -502,7 +560,7 @@ func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.D
 		res.Pressure = ps.finalize()
 	}
 
-	publishMetrics(reg, mc, dr, hier, scanner, pfDriver, ras, ps)
+	publishMetrics(reg, mc, dr, hier, scanner, pfDriver, ras, ps, img)
 	res.Metrics = reg.Snapshot()
 	return res, dr, nil
 }
@@ -604,7 +662,8 @@ func memQueueFactor(app tailbench.Profile, r *Result, cfg Config) float64 {
 func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driver,
 	dr *dram.DRAM, cfg Config, ras *rasState, ps *pressureState, es *engineState,
 	cs *crashState, sc obs.Scope, clk *uint64,
-	verify func(string, int, *ksm.Scanner, *pageforge.Driver) error) (int, float64, *ksm.Scanner, *pageforge.Driver, error) {
+	verify func(string, int, *ksm.Scanner, *pageforge.Driver) error,
+	sample func(string, int, uint64, *ksm.Scanner)) (int, float64, *ksm.Scanner, *pageforge.Driver, error) {
 
 	var alg *ksm.Algorithm
 	if scanner != nil {
@@ -643,6 +702,7 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		}
 	}
 	for p := 0; p < cfg.ConvergePasses; p++ {
+		cfg.Ledger.SetPass(p)
 		if ps != nil {
 			if err := ps.beginPass(p, now); err != nil {
 				return p + 1, 0, scanner, driver, err
@@ -653,8 +713,12 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		case ps != nil && ps.paused():
 			// ScanPaused rung: the engine is shut off entirely this pass;
 			// churn and the observation windows keep running so the ladder
-			// can see recovery and step back up.
+			// can see recovery and step back up. The ledger records the whole
+			// shed pass as one wasted-work event carrying the page budget the
+			// backpressure threw away.
 			ps.rep.PausedPasses++
+			cfg.Ledger.Append(obs.LedgerEvent{Kind: obs.LKShed, Cause: obs.CauseBackpressureShed,
+				VM: -1, PFN: obs.LedgerNoPFN, Arg: uint64(pages)})
 		case scanner != nil:
 			workers := cfg.ShardWorkers
 			if ps != nil {
@@ -730,6 +794,16 @@ func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driv
 		sc.Instant(obs.TIDPlatform, "interval", "pass", now, "frames", uint64(frames))
 		converged := frames == prevFrames && p >= 2 && (ps == nil || ps.quiescent(p))
 		prevFrames = frames
+		// Sample the series at the pass boundary, before the checkpoint: the
+		// track's ring is part of the checkpointed world, so a replayed pass
+		// re-takes exactly the samples the crash destroyed. The software
+		// engine handle falls back to the retained fallback scanner so its
+		// cycle counters stay published across re-promotions.
+		sw := scanner
+		if sw == nil {
+			sw = fallback
+		}
+		sample("converge", p, now, sw)
 		// Close the pass boundary: periodic checkpoint, then the crash plan.
 		// A restore rewinds every loop local (including prevFrames and the
 		// convergence verdict baked into it) to the checkpointed pass; the

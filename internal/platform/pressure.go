@@ -31,6 +31,11 @@ type pressureState struct {
 	// fold it into their clocks at pass boundaries.
 	stallTicks uint64
 
+	// inReclaim is set while the balloon sweeps guests, so the hypervisor's
+	// eviction seam can label those releases as balloon reclaims rather than
+	// plain teardown (the provenance ledger's ballooned/evicted split).
+	inReclaim bool
+
 	// last* are the previous observation window's cumulative counters, for
 	// per-window alloc-failure rates.
 	lastStalls uint64
@@ -68,7 +73,10 @@ func (ps *pressureState) reclaimHook(attempt int) bool {
 		return false
 	}
 	ps.stallTicks += ps.cfg.StallCycles
-	return ps.balloon.Reclaim(ps.cfg.BalloonBatch) > 0
+	ps.inReclaim = true
+	freed := ps.balloon.Reclaim(ps.cfg.BalloonBatch)
+	ps.inReclaim = false
+	return freed > 0
 }
 
 // takeStallTicks drains the accumulated stall backoff for the caller to
@@ -135,7 +143,10 @@ func (ps *pressureState) observe(p int, now uint64) {
 		// Below the critical watermark the next demand allocation is about
 		// to stall: reclaim up to the min watermark before it does.
 		if want := int(ps.cfg.Watermarks.Min*float64(total)) - free; want > 0 {
-			if freed := ps.balloon.Reclaim(want); freed > 0 {
+			ps.inReclaim = true
+			freed := ps.balloon.Reclaim(want)
+			ps.inReclaim = false
+			if freed > 0 {
 				ps.ctl.ObserveFree(hv.Phys.FreeFrames(), total)
 				ps.sc.Instant(obs.TIDPlatform, "pressure", "balloon", now, "frames", uint64(freed))
 			}

@@ -82,6 +82,18 @@ type Hypervisor struct {
 	// that is later re-touched reads zero-fill, not its old bytes.
 	OnRelease func(id PageID)
 
+	// OnEvict, when non-nil, observes a guest page release before the
+	// mapping is torn down, while the backing frame is still known — the
+	// provenance ledger needs the (id, pfn) pair that OnRelease can no
+	// longer see. It must not mutate simulation state.
+	OnEvict func(id PageID, pfn mem.PFN)
+
+	// OnCoWBreak, when non-nil, observes every copy-on-write break: the
+	// writing mapping left frame old for frame fresh (fresh == old on the
+	// sole-mapper path, which just drops the protection in place). It must
+	// not mutate simulation state.
+	OnCoWBreak func(id PageID, old, fresh mem.PFN)
+
 	// Reclaim, when non-nil, is consulted when a guest-path frame
 	// allocation finds the arena exhausted: the platform's pressure layer
 	// stalls the faulting vCPU (bounded backoff in simulated ticks) and
@@ -245,6 +257,9 @@ func (v *VM) breakCoW(g GFN, e *mapping) error {
 		e.writeProt = false
 		v.hv.Phys.SetCoW(old, false)
 		v.hv.Unmerges++
+		if v.hv.OnCoWBreak != nil {
+			v.hv.OnCoWBreak(PageID{v.ID, g}, old, old)
+		}
 		return nil
 	}
 	// The fresh frame is fully overwritten by the copy, so skip the
@@ -261,6 +276,9 @@ func (v *VM) breakCoW(g GFN, e *mapping) error {
 	v.hv.rmapAdd(fresh, PageID{v.ID, g})
 	v.CoWBreaks++
 	v.hv.Unmerges++
+	if v.hv.OnCoWBreak != nil {
+		v.hv.OnCoWBreak(PageID{v.ID, g}, old, fresh)
+	}
 	return nil
 }
 
@@ -269,6 +287,9 @@ func (v *VM) Release(g GFN) {
 	e := v.entry(g)
 	if !e.present {
 		return
+	}
+	if v.hv.OnEvict != nil {
+		v.hv.OnEvict(PageID{v.ID, g}, e.pfn)
 	}
 	v.hv.rmapRemove(e.pfn, PageID{v.ID, g})
 	v.hv.Phys.DecRef(e.pfn)

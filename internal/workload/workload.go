@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/pressure"
 	"repro/internal/sim"
@@ -66,6 +67,12 @@ type Scenario struct {
 	CheckpointEvery int
 	CrashPassA      int
 	CrashPassB      int
+
+	// LedgerOn attaches a merge-lifecycle provenance ledger to each
+	// verification run; the checker then replays the ledger's mapping-moving
+	// events and cross-checks the implied final page locations against the
+	// hypervisor's page tables (see check.AuditLedger).
+	LedgerOn bool
 }
 
 // Generate draws a random scenario from the given seed. The distribution
@@ -120,6 +127,9 @@ func Generate(seed uint64) Scenario {
 			sc.CrashPassB = 1 + rng.Intn(sc.ConvergePasses)
 		}
 	}
+	// The ledger draw comes after the crash block, same append-only
+	// discipline: every earlier field keeps its same-seed value.
+	sc.LedgerOn = rng.Bool(0.5)
 	return sc
 }
 
@@ -198,14 +208,19 @@ func (s Scenario) Config() platform.Config {
 	if s.CrashPassB > 0 {
 		cfg.Crash.Passes = append(cfg.Crash.Passes, s.CrashPassB-1)
 	}
+	if s.LedgerOn {
+		// A ledger is per-run state, so every Config() call mints a fresh one
+		// (Scenario itself stays plain scalars for the shrinker's ==).
+		cfg.Ledger = obs.NewLedger(0)
+	}
 	return cfg
 }
 
 // String renders the scenario compactly for progress and failure reports.
 func (s Scenario) String() string {
-	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d shards=%d workers=%d fault=%.2g overcommit=%.2f burst=%dx%d ckpt=%d crash=%d/%d",
+	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d shards=%d workers=%d fault=%.2g overcommit=%.2f burst=%dx%d ckpt=%d crash=%d/%d ledger=%t",
 		s.Seed, s.VMs, s.PagesPerVM, s.DupFrac, s.DupCopies, s.ZeroFrac,
 		s.VolatileFrac, s.ConvergePasses, s.MeasureIntervals, s.PagesToScan,
 		1<<s.ShardBits, s.ShardWorkers, s.FaultRate, s.Overcommit, s.BurstPages, s.BurstPasses,
-		s.CheckpointEvery, s.CrashPassA, s.CrashPassB)
+		s.CheckpointEvery, s.CrashPassA, s.CrashPassB, s.LedgerOn)
 }

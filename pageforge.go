@@ -408,6 +408,23 @@ func DefaultCrashPasses() []int { return experiments.DefaultCrashPasses() }
 // DefaultCheckpointIntervals spans boot-only through every-pass cadence.
 func DefaultCheckpointIntervals() []int { return experiments.DefaultCheckpointIntervals() }
 
+// EfficiencyExperiment runs the scan-efficiency attribution sweep: every
+// (engine, app) point runs with the provenance ledger and per-pass series
+// attached, reporting where the scan budget went (productive merges vs
+// churn, checksum instability, fault retries, backpressure sheds) and how
+// fast savings converged — then re-runs bare and proves the instrumented
+// Result bit-identical.
+func EfficiencyExperiment(s *Suite) (*experiments.EfficiencyResult, error) {
+	return experiments.Efficiency(s)
+}
+
+// RunLedgerOverheadBench times identical sharded scan passes with and
+// without a provenance ledger attached — the fresh, baseline-free overhead
+// gate `pageforge perfcheck` enforces.
+func RunLedgerOverheadBench() (experiments.LedgerOverheadResult, error) {
+	return experiments.RunLedgerOverheadBench(experiments.DefaultScanPassConfig())
+}
+
 // Timeline measures the savings convergence ramp of both engines on one
 // application under identical tunables.
 func Timeline(s *Suite, app Profile, intervals int) (*experiments.TimelineResult, error) {
@@ -466,6 +483,64 @@ const DefaultTraceCapacity = obs.DefaultTraceCapacity
 // the newest events and counts drops). One tracer may serve many parallel
 // runs; each run appears as its own trace process.
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// Series is the per-pass time-series collector behind Config.Series: at
+// every convergence-pass and measurement-interval boundary the platform
+// samples the run's full metric registry into a bounded ring of per-window
+// counter deltas and gauge values. One Series may serve many parallel runs
+// (one track each); WriteJSON emits the -series artifact. A nil Series is
+// off, and an attached one never perturbs the simulation (test-enforced
+// bit-identity).
+type Series = obs.Series
+
+// SeriesTrack is one run's ring of sampled windows within a Series.
+type SeriesTrack = obs.SeriesTrack
+
+// SeriesPoint is one sampled window: counter deltas since the previous
+// sample plus instantaneous gauges.
+type SeriesPoint = obs.SeriesPoint
+
+// DefaultSeriesCapacity comfortably holds a full-scale run's pass and
+// interval boundaries per track.
+const DefaultSeriesCapacity = obs.DefaultSeriesCapacity
+
+// NewSeries builds a series collector whose tracks retain the last
+// capacity points each (<= 0 uses DefaultSeriesCapacity).
+func NewSeries(capacity int) *Series { return obs.NewSeries(capacity) }
+
+// Ledger is the merge-lifecycle provenance stream behind Config.Ledger: a
+// bounded per-run ring of lifecycle events (scanned, merged, CoW-broken,
+// quarantined, ballooned, ...) with wasted-work cause attribution. Its
+// FrameHistory replay is what `pageforge explain` renders, and the verify
+// sweep cross-checks the replay against the page tables. A nil Ledger is
+// off, and an attached one never perturbs the simulation (test-enforced
+// bit-identity).
+type Ledger = obs.Ledger
+
+// LedgerEvent is one recorded lifecycle transition.
+type LedgerEvent = obs.LedgerEvent
+
+// LedgerAttribution aggregates a ledger's events by kind and wasted-work
+// cause — the scan-budget attribution of the efficiency report.
+type LedgerAttribution = obs.Attribution
+
+// LedgerNoPFN marks ledger events that are not about a specific frame.
+const LedgerNoPFN = obs.LedgerNoPFN
+
+// DefaultLedgerCapacity bounds the event ring when NewLedger is given no
+// size.
+const DefaultLedgerCapacity = obs.DefaultLedgerCapacity
+
+// NewLedger builds a provenance ledger retaining the last capacity events
+// (<= 0 uses DefaultLedgerCapacity).
+func NewLedger(capacity int) *Ledger { return obs.NewLedger(capacity) }
+
+// ReadSeriesJSON parses a -series artifact (schema-checked).
+func ReadSeriesJSON(r io.Reader) (*obs.SeriesFile, error) { return obs.ReadSeriesJSON(r) }
+
+// ReadLedgerJSON parses a ledger artifact written by `pageforge explain
+// -json` (schema-checked).
+func ReadLedgerJSON(r io.Reader) (*obs.LedgerFile, error) { return obs.ReadLedgerJSON(r) }
 
 // --- Hardware cost model ------------------------------------------------------
 
