@@ -48,6 +48,8 @@ smoke:
 		-series /tmp/pageforge-smoke-series.json \
 		| jq -e '.experiments.efficiency.Rows | all(.Identical) and length > 0' > /dev/null
 	jq -e '.schema == "pageforge-series/v1" and (.tracks | length > 0) and ([.tracks[].points | length] | add > 0)' /tmp/pageforge-smoke-series.json > /dev/null
+	$(GO) run ./cmd/pageforge run -exp stream -fast -quiet -json \
+		| jq -e '.experiments.stream.Rows | all(.Identical) and length > 0' > /dev/null
 	@echo smoke OK
 
 # fuzz gives the ECC decoder, page-key, and snapshot-codec contracts a short

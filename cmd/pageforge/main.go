@@ -3,7 +3,7 @@
 // Usage:
 //
 //	pageforge list
-//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash|efficiency]
+//	pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash|efficiency|stream]
 //	              [-apps img_dnn,silo,...] [-fast] [-seed N] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...]
 //	              [-crash-passes p1,p2,...] [-ckpt-every n1,n2,...]
 //	              [-json] [-trace file] [-metrics file] [-series file]
@@ -79,7 +79,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pageforge list
-  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash|efficiency] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...] [-crash-passes p1,p2,...] [-ckpt-every n1,n2,...]
+  pageforge run [-exp all|fig7|fig8|fig9|fig10|fig11|table4|table5|latency|satori|timeline|ras|verify|pressure|crash|efficiency|stream] [-apps a,b] [-fast] [-seed N] [-parallel N] [-quiet] [-fault-rate r1,r2,...] [-verify-n N] [-overcommit r1,r2,...] [-crash-passes p1,p2,...] [-ckpt-every n1,n2,...]
                 [-json] [-trace file] [-metrics file] [-series file] [-cpuprofile file] [-memprofile file] [-pprof addr]
   pageforge explain [-mode KSM|PageForge] [-app name] [-fast] [-seed N] [-pfn N] [-json]
   pageforge report -series file [-ledger file] [-track substr]
@@ -150,6 +150,7 @@ func list() {
 		{"pressure", "Robustness: overcommit storm vs graceful OOM, ballooning, backpressure, degradation ladder"},
 		{"crash", "Robustness: host crash x checkpoint interval vs verified recovery, replay cost, bit-identity"},
 		{"efficiency", "Observability: scan-budget attribution (ledger causes), convergence speed, zero-perturbation proof"},
+		{"stream", "Runtime: tick-driven streaming runs — config-scheduled ≡ live-injected event equivalence per world shape"},
 	} {
 		fmt.Printf("  %-7s %s\n", e[0], e[1])
 	}
@@ -431,6 +432,13 @@ func run(args []string) {
 			fail(err)
 		} else {
 			emit("efficiency", r)
+		}
+	}
+	if want("stream") {
+		if r, err := pageforgesim.StreamExperiment(suite); err != nil {
+			fail(err)
+		} else {
+			emit("stream", r)
 		}
 	}
 	if progress != nil && len(modeSet) > 0 {
@@ -852,6 +860,14 @@ func bench(args []string) {
 		os.Exit(1)
 	}
 
+	// Streaming-runtime benchmark: tick throughput of the stepped Runtime
+	// against batch Run on the same world, plus their bit-identity.
+	streamRec, err := experiments.RunStreamBench(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
 	type keyMetrics struct {
 		AvgDemandLatency float64 `json:"avg_demand_latency_cycles"`
 		DemandLatP95     float64 `json:"demand_latency_p95_cycles"`
@@ -861,16 +877,17 @@ func bench(args []string) {
 		SavedFrac        float64 `json:"memory_savings_frac"`
 	}
 	artifact := struct {
-		Schema      string                     `json:"schema"`
-		GoVersion   string                     `json:"go_version"`
-		Fast        bool                       `json:"fast"`
-		Seed        uint64                     `json:"seed"`
-		Parallelism int                        `json:"parallelism"`
-		ElapsedSecs float64                      `json:"elapsed_seconds"`
-		ScanPass    experiments.ScanPassResult   `json:"scanpass"`
-		CrashRec    experiments.CrashBenchResult `json:"crash_recovery"`
-		Runs        []experiments.RunRecord      `json:"runs"`
-		KeyMetrics  map[string]keyMetrics        `json:"key_metrics"`
+		Schema      string                        `json:"schema"`
+		GoVersion   string                        `json:"go_version"`
+		Fast        bool                          `json:"fast"`
+		Seed        uint64                        `json:"seed"`
+		Parallelism int                           `json:"parallelism"`
+		ElapsedSecs float64                       `json:"elapsed_seconds"`
+		ScanPass    experiments.ScanPassResult    `json:"scanpass"`
+		CrashRec    experiments.CrashBenchResult  `json:"crash_recovery"`
+		Stream      experiments.StreamBenchResult `json:"stream"`
+		Runs        []experiments.RunRecord       `json:"runs"`
+		KeyMetrics  map[string]keyMetrics         `json:"key_metrics"`
 	}{
 		Schema:      experiments.DocSchema,
 		GoVersion:   runtime.Version(),
@@ -880,6 +897,7 @@ func bench(args []string) {
 		ElapsedSecs: elapsed.Seconds(),
 		ScanPass:    scanpass,
 		CrashRec:    crashRec,
+		Stream:      streamRec,
 		Runs:        progress.Records(),
 		KeyMetrics:  make(map[string]keyMetrics),
 	}
@@ -964,6 +982,28 @@ func perfcheck(args []string) {
 		ov.Overhead*100, ov.OffPagesPerSec, ov.OnPagesPerSec, ov.Events)
 	if ov.Overhead > *tol {
 		fmt.Fprintf(os.Stderr, "perfcheck: FAIL — provenance ledger costs more than %.0f%% of scan throughput\n", *tol*100)
+		os.Exit(1)
+	}
+
+	// Streaming-runtime gate: a stepped Runtime must produce a bit-identical
+	// Result to batch Run (hard fail) and cost essentially nothing over it.
+	// Both runs do identical work on this machine right now, so the overhead
+	// band is a fixed constant, generous only for scheduler jitter — the
+	// scanpass ratio gate above remains the real throughput protector.
+	const streamTol = 0.25
+	st, err := experiments.RunStreamBench(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "perfcheck: stream overhead %.1f%% (%d ticks, %.0f ticks/s streamed, %.0f batch, identical=%v)\n",
+		st.Overhead*100, st.Ticks, st.TicksPerSec, st.BatchTicksPerSec, st.Identical)
+	if !st.Identical {
+		fmt.Fprintln(os.Stderr, "perfcheck: FAIL — streamed Runtime result diverged from batch Run")
+		os.Exit(1)
+	}
+	if st.Overhead > streamTol {
+		fmt.Fprintf(os.Stderr, "perfcheck: FAIL — streaming runtime costs more than %.0f%% over batch Run\n", streamTol*100)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "perfcheck: OK")

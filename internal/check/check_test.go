@@ -53,6 +53,35 @@ func TestFaultedScenarioPassesInvariants(t *testing.T) {
 	}
 }
 
+// TestLiveEventScenarioPassesInvariants runs a schedule with every live
+// event — a mid-run spawn, a VM kill, and a phase flip — under full
+// invariant checking with the provenance ledger attached: the shadow model
+// must absorb the spawned VM's pages, handle the victim's teardown (frames
+// freed, refcounts balanced), and skip the cross-engine differential check.
+func TestLiveEventScenarioPassesInvariants(t *testing.T) {
+	sc := smallScenario()
+	sc.LedgerOn = true
+	sc.SpawnAtPass = 2
+	sc.KillVMAtPass = 3
+	sc.KillVM = 1
+	sc.PhaseFlipAtPass = 3
+	if !sc.HasLiveEvents() {
+		t.Fatal("scenario must report live events")
+	}
+	rep, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DiffChecked {
+		t.Fatal("live-event runs must skip the differential check")
+	}
+	for mode, c := range map[string]Counters{"KSM": rep.KSM, "PageForge": rep.PageForge} {
+		if c.ContentChecks == 0 || c.RefcountChecks == 0 {
+			t.Fatalf("%s: checker did no work: %+v", mode, c)
+		}
+	}
+}
+
 func TestModelTracksWrites(t *testing.T) {
 	hv := vm.NewHypervisor(64 * mem.PageSize)
 	v := hv.NewVM(4 * mem.PageSize)

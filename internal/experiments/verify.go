@@ -27,14 +27,20 @@ type VerifyRegime struct {
 	RefcountChecks     int
 	QuarantineChecks   int
 	CompletenessGroups int
-	// DiffChecked counts scenarios whose KSM ≡ PageForge merge sets were
-	// compared; Groups is the total number of equal clean merge groups.
-	DiffChecked int
-	Groups      int
+	// DiffEligible counts scenarios whose merge sets are mode-comparable
+	// (fault-free, unpressured, no live events); DiffChecked counts those
+	// actually compared — the two must agree, which the sweep test pins.
+	// Groups is the total number of equal clean merge groups.
+	DiffEligible int
+	DiffChecked  int
+	Groups       int
 }
 
 func (r *VerifyRegime) add(rep *check.Report) {
 	r.Scenarios++
+	if rep.Scenario.DiffComparable() {
+		r.DiffEligible++
+	}
 	for _, c := range []check.Counters{rep.KSM, rep.PageForge} {
 		r.Intervals += c.Intervals
 		r.ContentChecks += c.ContentChecks
@@ -143,8 +149,8 @@ func (r *VerifyResult) String() string {
 	row("faulted", r.Faulted)
 	t.notes = append(t.notes,
 		"each scenario runs KSM and PageForge with all four invariants checked at every interval",
-		fmt.Sprintf("differential KSM ≡ PageForge clean merge sets equal on %d/%d fault-free scenarios (%d groups)",
-			r.FaultFree.DiffChecked, r.FaultFree.Scenarios, r.FaultFree.Groups),
-		"faulted runs skip the differential (quarantine timing is engine-specific) but keep invariants 1-3")
+		fmt.Sprintf("differential KSM ≡ PageForge clean merge sets equal on %d/%d eligible scenarios (%d groups)",
+			r.FaultFree.DiffChecked, r.FaultFree.DiffEligible, r.FaultFree.Groups),
+		"faulted, pressured, and live-event runs skip the differential but keep invariants 1-3")
 	return t.String()
 }

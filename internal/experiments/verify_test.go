@@ -21,9 +21,12 @@ func TestVerifySweepPasses(t *testing.T) {
 	if res.FaultFree.Scenarios == 0 || res.Faulted.Scenarios == 0 {
 		t.Fatalf("sweep covered one regime only: %+v", res)
 	}
-	if res.FaultFree.DiffChecked != res.FaultFree.Scenarios {
-		t.Fatalf("differential skipped on %d fault-free scenarios",
-			res.FaultFree.Scenarios-res.FaultFree.DiffChecked)
+	if res.FaultFree.DiffEligible == 0 {
+		t.Fatalf("no diff-eligible scenarios in the sweep: %+v", res.FaultFree)
+	}
+	if res.FaultFree.DiffChecked != res.FaultFree.DiffEligible {
+		t.Fatalf("differential skipped on %d eligible scenarios",
+			res.FaultFree.DiffEligible-res.FaultFree.DiffChecked)
 	}
 	if res.FaultFree.ContentChecks == 0 || res.FaultFree.RefcountChecks == 0 {
 		t.Fatalf("checker did no work: %+v", res.FaultFree)

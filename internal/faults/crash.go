@@ -54,6 +54,20 @@ func (p *CrashPlan) FireAt(pass int) bool {
 	return true
 }
 
+// Add schedules one more crash at the given pass boundary, keeping the
+// queue sorted so replayed boundaries never re-fire a consumed crash. It is
+// how a live event stream injects a crash into an already-armed plan;
+// negative passes are ignored.
+func (p *CrashPlan) Add(pass int) {
+	if pass < 0 {
+		return
+	}
+	i := sort.SearchInts(p.queue, pass)
+	p.queue = append(p.queue, 0)
+	copy(p.queue[i+1:], p.queue[i:])
+	p.queue[i] = pass
+}
+
 // Remaining reports how many scheduled crashes have not fired yet.
 func (p *CrashPlan) Remaining() int { return len(p.queue) }
 

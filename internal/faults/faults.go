@@ -106,6 +106,14 @@ type Model struct {
 	// process in (lastWrite, now]. Lines never written use time zero.
 	lastWrite map[uint64]uint64
 	stats     Stats
+	// boost is a live multiplier on the per-read transient/double-bit
+	// rates (1 = nominal). A fault-storm window raises it temporarily; it
+	// only amplifies an existing population (a zero base rate stays zero),
+	// and it never changes how many RNG draws a read consumes, so toggling
+	// it cannot desynchronize the fault stream. It is deliberately not
+	// checkpointed: the platform re-derives it from its (checkpointed)
+	// storm window at the top of every pass.
+	boost float64
 }
 
 // NewModel builds the fault population from the configuration. Stuck-cell
@@ -117,6 +125,7 @@ func NewModel(cfg Config) *Model {
 		rng:       sim.NewRNG(cfg.Seed ^ 0x0DD5EED5),
 		stuck:     make(map[uint64][]stuckCell),
 		lastWrite: make(map[uint64]uint64),
+		boost:     1,
 	}
 	frames := cfg.Frames
 	if frames <= 0 {
@@ -141,6 +150,28 @@ func NewModel(cfg Config) *Model {
 
 // Config returns the model's configuration.
 func (m *Model) Config() Config { return m.cfg }
+
+// SetRateBoost sets the live multiplier on the per-read transient and
+// double-bit rates (values below 1 clamp to 1). Fault-storm windows raise
+// it and nominal passes reset it.
+func (m *Model) SetRateBoost(b float64) {
+	if b < 1 {
+		b = 1
+	}
+	m.boost = b
+}
+
+// rate applies the live boost to a configured per-read probability,
+// capping at certainty.
+func (m *Model) rate(p float64) float64 {
+	if m.boost <= 1 {
+		return p
+	}
+	if p *= m.boost; p > 1 {
+		return 1
+	}
+	return p
+}
 
 func (m *Model) randLineAddr(r *sim.RNG, frames int) uint64 {
 	pfn := r.Intn(frames)
@@ -183,11 +214,11 @@ func (m *Model) Corrupt(addr, now uint64, line []byte) {
 	if m.cfg.BurstMeanCycles > 0 {
 		m.applyBurst(addr, now, line)
 	}
-	if m.cfg.TransientPerRead > 0 && m.rng.Bool(m.cfg.TransientPerRead) {
+	if m.cfg.TransientPerRead > 0 && m.rng.Bool(m.rate(m.cfg.TransientPerRead)) {
 		flipBit(line, m.rng.Intn(lineBits))
 		m.stats.TransientBits++
 	}
-	if m.cfg.DoubleBitPerRead > 0 && m.rng.Bool(m.cfg.DoubleBitPerRead) {
+	if m.cfg.DoubleBitPerRead > 0 && m.rng.Bool(m.rate(m.cfg.DoubleBitPerRead)) {
 		w := m.rng.Intn(lineBits / wordBits)
 		b1 := m.rng.Intn(wordBits)
 		b2 := (b1 + 1 + m.rng.Intn(wordBits-1)) % wordBits

@@ -45,11 +45,11 @@ func (k LedgerKind) String() string {
 type LedgerCause uint8
 
 const (
-	CauseNone                 LedgerCause = iota
-	CauseContentChurn                     // page contents changed between passes
-	CauseChecksumInstability              // match found, final verify lost the race
-	CauseFaultRetry                       // hardware aborted on an uncorrectable error
-	CauseBackpressureShed                 // pressure ladder paused scanning
+	CauseNone                LedgerCause = iota
+	CauseContentChurn                    // page contents changed between passes
+	CauseChecksumInstability             // match found, final verify lost the race
+	CauseFaultRetry                      // hardware aborted on an uncorrectable error
+	CauseBackpressureShed                // pressure ladder paused scanning
 )
 
 var ledgerCauseNames = [...]string{

@@ -32,8 +32,8 @@ func TestLedgerAppendAndWrap(t *testing.T) {
 func TestLedgerFrameHistory(t *testing.T) {
 	l := NewLedger(0)
 	l.Append(LedgerEvent{Kind: LKScanned, VM: 0, GFN: 1, PFN: 10})
-	l.Append(LedgerEvent{Kind: LKMerged, VM: 0, GFN: 1, PFN: 10, Arg: 20})  // 10 merged onto 20
-	l.Append(LedgerEvent{Kind: LKScanned, VM: 1, GFN: 9, PFN: 30})          // unrelated
+	l.Append(LedgerEvent{Kind: LKMerged, VM: 0, GFN: 1, PFN: 10, Arg: 20}) // 10 merged onto 20
+	l.Append(LedgerEvent{Kind: LKScanned, VM: 1, GFN: 9, PFN: 30})         // unrelated
 	l.Append(LedgerEvent{Kind: LKCoWBroken, VM: 0, GFN: 1, PFN: 20, Arg: 40})
 
 	// Frame 20's history includes events where it is the subject AND the

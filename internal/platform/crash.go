@@ -37,8 +37,9 @@ import (
 // even that cannot be verified the run permanently demotes to the software
 // scanner (KSM-only) — the same degradation rung the pressure ladder uses.
 
-// crashSnapshotVersion is the worldPayload schema version.
-const crashSnapshotVersion = 1
+// crashSnapshotVersion is the worldPayload schema version. Version 2 added
+// the live-event stream cursor and the balloon/fault storm-window fields.
+const crashSnapshotVersion = 2
 
 // Recovery cost model (deterministic, charged only to RecoveryCycles):
 // restoring a checkpoint, one backoff quantum (doubled per retry), and the
@@ -177,6 +178,26 @@ type worldPayload struct {
 	Series    obs.SeriesTrackState
 	HasLedger bool
 	Ledger    obs.LedgerState
+
+	// Live-event stream: how many scheduled events have been applied, and
+	// the storm windows the applied events opened. The windows are constant
+	// once applied, but a snapshot restored into a *fresh* runtime (whose
+	// events were never applied) needs them to re-derive the fault boost and
+	// balloon action for replayed passes.
+	EvCursor       int
+	EvBalloonStart int
+	EvBalloonUntil int
+	EvBalloonPages int
+	EvFaultStart   int
+	EvFaultUntil   int
+	EvFaultBoost   float64
+
+	// Convergence verdict as of the captured boundary. Crash checkpoints are
+	// always taken before the verdict (false), but the runtime's Snapshot can
+	// capture a world whose last pass converged — a fresh runtime restoring
+	// that blob must go straight to measurement, not replay a bonus pass.
+	Converged  bool
+	PassesDone int
 }
 
 // crashEnv binds the crash machinery to one run's live objects, including
@@ -205,10 +226,14 @@ type crashEnv struct {
 	fallback     **ksm.Scanner
 	makeFallback func() *ksm.Scanner
 
+	ev *eventState // live-event stream; may be nil (no runtime armed)
+
 	now        *uint64
 	clk        *uint64
 	candidates *uint64
 	prevFrames *int
+	converged  *bool // the loop's early-convergence verdict; may be nil
+	passes     *int  // convergence passes recorded for the result; may be nil
 }
 
 // crashState is the per-run crash/checkpoint machinery.
@@ -245,9 +270,10 @@ func newCrashState(cfg Config, env *crashEnv) *crashState {
 	return cs
 }
 
-// capture serializes the whole world at the boundary closing pass p.
-func (cs *crashState) capture(p int) ([]byte, error) {
-	env := cs.env
+// capture serializes the whole world at the boundary closing pass p. It is
+// a crashEnv method (not crashState) so the runtime's Snapshot can reuse it
+// without arming the crash machinery.
+func (env *crashEnv) capture(p int) ([]byte, error) {
 	phys, err := env.img.HV.Phys.State()
 	if err != nil {
 		return nil, fmt.Errorf("platform: checkpoint at pass %d: %w", p, err)
@@ -316,25 +342,39 @@ func (cs *crashState) capture(p int) ([]byte, error) {
 		w.HasLedger = true
 		w.Ledger = env.ledger.State()
 	}
+	if env.ev != nil {
+		w.EvCursor = env.ev.cursor
+		w.EvBalloonStart = env.ev.bsStart
+		w.EvBalloonUntil = env.ev.bsUntil
+		w.EvBalloonPages = env.ev.bsPages
+		w.EvFaultStart = env.ev.fsStart
+		w.EvFaultUntil = env.ev.fsUntil
+		w.EvFaultBoost = env.ev.fsBoost
+	}
+	if env.converged != nil {
+		w.Converged = *env.converged
+		w.PassesDone = *env.passes
+	}
 	return snapshot.Encode(crashSnapshotVersion, w)
 }
 
-// restore rewinds the world to a checkpoint blob, in place.
-func (cs *crashState) restore(blob []byte, pass int) error {
+// restore rewinds the world to a checkpoint blob, in place, and reports the
+// pass the blob was captured at (so the runtime's Restore can resume from
+// the right boundary; the crash path already knows it).
+func (env *crashEnv) restore(blob []byte, pass int) (int, error) {
 	var w worldPayload
 	if err := snapshot.Decode(blob, crashSnapshotVersion, &w); err != nil {
-		return fmt.Errorf("platform: restoring checkpoint at pass %d: %w", pass, err)
+		return 0, fmt.Errorf("platform: restoring checkpoint at pass %d: %w", pass, err)
 	}
-	env := cs.env
 	if err := env.img.HV.Phys.SetState(w.Phys); err != nil {
-		return err
+		return 0, err
 	}
 	if err := env.img.HV.SetState(w.HV); err != nil {
-		return err
+		return 0, err
 	}
 	env.img.SetState(w.Img)
 	if err := env.alg.SetState(w.Alg); err != nil {
-		return err
+		return 0, err
 	}
 
 	if env.hwDriver != nil && w.HasDriver {
@@ -368,7 +408,7 @@ func (cs *crashState) restore(blob []byte, pass int) error {
 
 	env.mc.SetState(w.MC)
 	if err := env.dr.SetState(w.DRAM); err != nil {
-		return err
+		return 0, err
 	}
 	copy(env.hier.L3AccessBySource[:], w.HierL3Access)
 	copy(env.hier.L3MissBySource[:], w.HierL3Miss)
@@ -398,18 +438,31 @@ func (cs *crashState) restore(blob []byte, pass int) error {
 	if env.ledger.Enabled() && w.HasLedger {
 		env.ledger.SetState(w.Ledger)
 	}
+	if env.ev != nil {
+		env.ev.cursor = w.EvCursor
+		env.ev.bsStart = w.EvBalloonStart
+		env.ev.bsUntil = w.EvBalloonUntil
+		env.ev.bsPages = w.EvBalloonPages
+		env.ev.fsStart = w.EvFaultStart
+		env.ev.fsUntil = w.EvFaultUntil
+		env.ev.fsBoost = w.EvFaultBoost
+	}
+	if env.converged != nil {
+		*env.converged = w.Converged
+		*env.passes = w.PassesDone
+	}
 
 	*env.now = w.Now
 	*env.clk = w.Clk
 	*env.candidates = w.Candidates
 	*env.prevFrames = w.PrevFrames
-	return nil
+	return w.Pass, nil
 }
 
 // checkpoint captures the boundary closing pass p and makes it the newest
 // restore target.
 func (cs *crashState) checkpoint(p int) error {
-	blob, err := cs.capture(p)
+	blob, err := cs.env.capture(p)
 	if err != nil {
 		return err
 	}
@@ -455,7 +508,7 @@ func (cs *crashState) attemptChain(blob []byte, pass int) (bool, error) {
 			cs.rep.RecoveryRetries++
 			cs.rep.RecoveryCycles += recoveryBackoffCycles << uint(attempt-1)
 		}
-		if err := cs.restore(blob, pass); err != nil {
+		if _, err := cs.env.restore(blob, pass); err != nil {
 			// Our own checkpoint failed to decode or re-apply: the harness
 			// is corrupt, not the simulated state. Fatal.
 			return false, err

@@ -79,6 +79,16 @@ type measurement struct {
 	// series sample at each interval boundary. Both are purely observational.
 	ledger *obs.Ledger
 	sample func(k int, end uint64)
+
+	// Per-phase stepping state, initialized by begin and advanced by
+	// stepInterval: the interval length and clock base, the PageForge
+	// engine's running timestamp, and the pages scanned since the last
+	// churn. Hoisted to fields (rather than loop locals) so the runtime can
+	// execute the measurement one interval per tick.
+	interval        uint64
+	base            uint64
+	pfNow           uint64
+	pagesSinceChurn int
 }
 
 // pumpFetcher wraps the memory controller's fetch service: before each
@@ -166,17 +176,25 @@ func (m *measurement) appAccessesPerInterval() int {
 	return n
 }
 
-// run executes warm-up plus MeasureIntervals work intervals. Exactly one of
-// scanner/driver is non-nil for the dedup configurations.
-func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error {
-	interval := m.cfg.IntervalCycles()
-	base := uint64(1) << 44 // clock base, clear of convergence timestamps
-	*m.clock = base
+// begin opens the measurement phase: the clock jumps to a base clear of
+// convergence timestamps and the stepping state resets. The phase then runs
+// as warmupIntervals+MeasureIntervals stepInterval ticks, closed by finish.
+func (m *measurement) begin() {
+	m.interval = m.cfg.IntervalCycles()
+	m.base = uint64(1) << 44 // clock base, clear of convergence timestamps
+	*m.clock = m.base
+	m.pfNow = m.base
+	m.pagesSinceChurn = 0
+}
 
-	pfNow := base
-	pagesSinceChurn := 0
-
-	for k := 0; k < warmupIntervals+m.cfg.MeasureIntervals; k++ {
+// stepInterval executes work interval k (warm-up intervals included — the
+// first warmupIntervals ticks run identically and reset statistics at the
+// boundary). Exactly one of scanner/driver is non-nil for the dedup
+// configurations.
+func (m *measurement) stepInterval(k int, scanner *ksm.Scanner, driver *pageforge.Driver) error {
+	interval := m.interval
+	base := m.base
+	{
 		start := base + uint64(k)*interval
 		*m.clock = start
 		if k == warmupIntervals {
@@ -253,10 +271,10 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error 
 					kt += kstep
 				}
 			}
-			pagesSinceChurn += res.Scanned
+			m.pagesSinceChurn += res.Scanned
 		case driver != nil:
-			if pfNow < start {
-				pfNow = start
+			if m.pfNow < start {
+				m.pfNow = start
 			}
 			ccBefore := driver.CoreCycles
 			// Scan candidates until the page budget or the interval's wall
@@ -264,13 +282,13 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error 
 			// step with the engine's fetches, so DRAM sees one merged,
 			// time-ordered stream.
 			m.pump.emit = em.emitUntil
-			for scanned := 0; scanned < budget && pfNow < end; scanned++ {
-				_, done, ok := driver.ScanOne(pfNow)
+			for scanned := 0; scanned < budget && m.pfNow < end; scanned++ {
+				_, done, ok := driver.ScanOne(m.pfNow)
 				if !ok {
 					break
 				}
-				pfNow = done
-				pagesSinceChurn++
+				m.pfNow = done
+				m.pagesSinceChurn++
 			}
 			m.pump.emit = nil
 			if measuring {
@@ -290,14 +308,14 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error 
 			m.trace.Complete(obs.TIDPlatform, "interval", name, start, interval, "k", uint64(k))
 		}
 
-		if alg := algOf(scanner, driver); alg != nil && pagesSinceChurn >= alg.MergeablePages() {
+		if alg := algOf(scanner, driver); alg != nil && m.pagesSinceChurn >= alg.MergeablePages() {
 			if m.trace.Enabled() {
-				m.trace.Instant(obs.TIDPlatform, "interval", "churn", end, "pages", uint64(pagesSinceChurn))
+				m.trace.Instant(obs.TIDPlatform, "interval", "churn", end, "pages", uint64(m.pagesSinceChurn))
 			}
 			if err := m.img.ChurnVolatile(); err != nil {
 				return err
 			}
-			pagesSinceChurn = 0
+			m.pagesSinceChurn = 0
 		}
 		if m.ps != nil {
 			// One observation window per interval: demand-path p99 into the
@@ -314,8 +332,13 @@ func (m *measurement) run(scanner *ksm.Scanner, driver *pageforge.Driver) error 
 			}
 		}
 	}
-	*m.clock = base + uint64(warmupIntervals+m.cfg.MeasureIntervals)*interval
 	return nil
+}
+
+// finish closes the measurement phase, parking the clock at the phase's
+// end so post-measurement consumers see a fully-elapsed timeline.
+func (m *measurement) finish() {
+	*m.clock = m.base + uint64(warmupIntervals+m.cfg.MeasureIntervals)*m.interval
 }
 
 func algOf(s *ksm.Scanner, d *pageforge.Driver) *ksm.Algorithm {

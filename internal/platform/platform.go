@@ -9,20 +9,16 @@
 package platform
 
 import (
-	"fmt"
-
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/faults"
 	"repro/internal/ksm"
-	"repro/internal/mem"
 	"repro/internal/memctrl"
 	"repro/internal/obs"
 	"repro/internal/pageforge"
 	"repro/internal/pressure"
 	"repro/internal/sim"
 	"repro/internal/tailbench"
-	"repro/internal/vm"
 )
 
 // Mode selects the evaluated configuration.
@@ -151,6 +147,15 @@ type Config struct {
 	// Purely observational — a ledgered run produces bit-identical Results
 	// to an unledgered one.
 	Ledger *obs.Ledger
+
+	// Events schedules live workload events — VM spawn/kill, application
+	// phase changes, balloon storms, fault storms, host crashes — at
+	// convergence-pass boundaries. Each event applies at the top of its
+	// pass, in Pass order (ties keep list order), exactly as if the same
+	// event had been Injected into a streaming Runtime before that pass ran;
+	// EvCrash entries fold into Crash.Passes at Start. Ignored by Baseline
+	// (which runs no convergence passes).
+	Events []Event
 
 	// Verifier, when non-nil, receives model-based checking callbacks: once
 	// at image build (BeginRun) and at every convergence pass and
@@ -292,277 +297,20 @@ func Run(mode Mode, app tailbench.Profile, cfg Config) (*Result, error) {
 	return res, err
 }
 
+// runInternal is the batch driver over the tick-driven Runtime: build the
+// world, then step every tick to completion. Batch Run and a streaming
+// Runtime stepped to the same horizon are therefore the same code path, and
+// their Results are bit-identical by construction.
 func runInternal(mode Mode, app tailbench.Profile, cfg Config) (*Result, *dram.DRAM, error) {
-	// Physical memory: enough headroom for images plus churn copies — or,
-	// under an armed pressure layer with overcommit, deliberately less than
-	// guest demand: the resident images must fit (the build phase has no
-	// reclaim to lean on), but the burst region does not, which is exactly
-	// the storm the resilience machinery is there to absorb.
-	physFrames := cfg.VMs*app.PagesPerVM*2 + 1024
-	if cfg.Pressure.Enabled && cfg.Pressure.OvercommitRatio > 1 {
-		demand := cfg.VMs * (app.PagesPerVM + app.BurstPagesPerVM)
-		physFrames = int(float64(demand)/cfg.Pressure.OvercommitRatio) + 1
-		if floor := cfg.VMs*app.PagesPerVM + 64; physFrames < floor {
-			physFrames = floor
-		}
-	}
-	img, err := tailbench.BuildImage(app, cfg.VMs, physFrames, cfg.Seed)
-	if err != nil {
-		return nil, nil, fmt.Errorf("platform: building image: %w", err)
-	}
-	if cfg.Verifier != nil {
-		cfg.Verifier.BeginRun(mode, img)
-	}
-
-	// verify delivers one observation point to the configured verifier; the
-	// engine arguments are whatever is live at the call (degradation swaps
-	// the driver out for a software scanner mid-run).
-	verify := func(phase string, idx int, s *ksm.Scanner, d *pageforge.Driver) error {
-		if cfg.Verifier == nil {
-			return nil
-		}
-		p := VerifyPoint{Mode: mode, Phase: phase, Index: idx, HV: img.HV, Alg: algOf(s, d)}
-		if d != nil {
-			p.Quarantined = d.Quarantined
-		}
-		return cfg.Verifier.Interval(p)
-	}
-
-	hierCfg := cfg.Hier
-	hierCfg.Cores = cfg.Cores
-	if cfg.MeasureL3.SizeBytes > 0 {
-		hierCfg.L3 = cfg.MeasureL3
-	}
-	hier := cache.NewHierarchy(hierCfg)
-	dr := dram.New(cfg.DRAM)
-	mc := memctrl.New(dr, img.HV.Phys, hier)
-
-	// The hierarchy's misses go to the memory controller; the closure binds
-	// the running clock maintained by the measurement loop.
-	var clock uint64
-	hier.MemAccess = func(addr uint64, write bool) uint64 {
-		return mc.DemandAccess(addr, clock, write, dram.SrcCore)
-	}
-
-	res := &Result{Mode: mode, App: app, DegradedAtPass: -1, RepromotedAtPass: -1}
-
-	// Observability: one registry per run (single-goroutine handles), and a
-	// trace process on the shared tracer when tracing is on. Both are purely
-	// observational — they never feed back into simulated time.
-	reg := obs.NewRegistry()
-	var sc obs.Scope
-	if cfg.Trace.Enabled() {
-		pid := cfg.Trace.NewProcess(fmt.Sprintf("%s/%s", mode, app.Name))
-		sc = obs.Scope{T: cfg.Trace, PID: pid}
-		cfg.Trace.NameThread(pid, obs.TIDPlatform, "platform")
-		cfg.Trace.NameThread(pid, obs.TIDDriver, "dedup-driver")
-		cfg.Trace.NameThread(pid, obs.TIDEngine, "pfe-engine")
-		cfg.Trace.NameThread(pid, obs.TIDRAS, "ras")
-		cfg.Trace.NameThread(pid, obs.TIDScrub, "scrubber")
-	}
-
-	// RAS: attach the fault model to the controller (every ECC-decoded line
-	// fetch now passes through it) and arm the patrol scrubber and the
-	// degradation tracker. With Faults disabled nothing is created and the
-	// machine is bit-identical to earlier fault-free builds.
-	var ras *rasState
-	if cfg.Faults.Enabled() {
-		fc := cfg.Faults
-		if fc.Frames == 0 {
-			fc.Frames = img.HV.Phys.TotalFrames()
-		}
-		ras = &rasState{
-			model:   faults.NewModel(fc),
-			scrub:   &memctrl.Scrubber{MC: mc, Trace: sc},
-			tracker: faults.NewRateTracker(cfg.DegradeTrip),
-			mc:      mc,
-			budget:  cfg.ScrubLinesPerInterval,
-		}
-		mc.Faults = ras.model
-	}
-
-	// Pressure: arm the resilience layer — controller, ladder, balloon, and
-	// the hypervisor's stall/reclaim hook. Armed only after the image is
-	// built: the build phase sizes within the floor by construction.
-	var ps *pressureState
-	if cfg.Pressure.Enabled {
-		ps = newPressureState(cfg.Pressure, img, ras, sc)
-	}
-	es := &engineState{degradedAtPass: -1, repromotedAtPass: -1}
-
-	// Deduplication engine for this mode. The PageForge engine's fetches go
-	// through a pumped fetcher so the measurement phase can interleave
-	// application traffic with the hardware's line requests in time order.
-	var scanner *ksm.Scanner
-	var driver *pageforge.Driver
-	pump := &pumpFetcher{mc: mc}
-	switch mode {
-	case Baseline:
-	case KSM:
-		scanner = ksm.NewScanner(ksm.NewAlgorithmSharded(img.HV, ksm.JHasher{}, cfg.ShardBits), cfg.KSMCosts)
-		scanner.Trace = sc
-		scanner.TraceNow = func() uint64 { return clock }
-		scanner.Ledger = cfg.Ledger
-	case PageForge:
-		engine := pageforge.NewEngine(pump)
-		engine.Trace = sc
-		driver = pageforge.NewDriver(ksm.NewAlgorithmSharded(img.HV, ksm.NewECCHasher(), cfg.ShardBits), engine, cfg.Driver)
-		driver.Trace = sc
-		driver.Ledger = cfg.Ledger
-	}
-	// Provenance: wire the hypervisor seams the engines cannot see — CoW
-	// breaks on guest writes, and evictions split into balloon reclaims vs
-	// plain releases by the pressure layer's in-reclaim flag. Installed only
-	// when ledgering so the unledgered hot paths keep their nil-hook branch.
-	if cfg.Ledger.Enabled() {
-		ldg := cfg.Ledger
-		img.HV.OnCoWBreak = func(id vm.PageID, old, fresh mem.PFN) {
-			ldg.Append(obs.LedgerEvent{Kind: obs.LKCoWBroken, VM: id.VM,
-				GFN: uint64(id.GFN), PFN: uint64(old), Arg: uint64(fresh)})
-		}
-		img.HV.OnEvict = func(id vm.PageID, pfn mem.PFN) {
-			kind := obs.LKEvicted
-			if ps != nil && ps.inReclaim {
-				kind = obs.LKBallooned
-			}
-			ldg.Append(obs.LedgerEvent{Kind: kind, VM: id.VM, GFN: uint64(id.GFN), PFN: uint64(pfn)})
-		}
-	}
-
-	// --- Phase 1: converge to the merging steady state, churning volatile
-	// pages between passes so they behave as application write traffic.
-	// This mass-merging phase is "the most memory-intensive phase of page
-	// deduplication" whose bandwidth Figure 11 reports.
-	// pfDriver keeps the hardware driver reachable for statistics even when
-	// the degradation policy swaps the live engine to software KSM.
-	pfDriver := driver
-	// Per-pass time series: one track per run, sampled at every convergence
-	// and measurement boundary. A sample re-publishes the cumulative layer
-	// counters into the registry — publishMetrics is an idempotent overwrite
-	// and the end-of-run publish below rewrites every name, so mid-run
-	// publishes cannot perturb the final snapshot — then lets the track
-	// window them into deltas.
-	var track *obs.SeriesTrack
-	if cfg.Series.Enabled() {
-		track = cfg.Series.Track(fmt.Sprintf("%s/%s", mode, app.Name))
-	}
-	sample := func(phase string, idx int, now uint64, sw *ksm.Scanner) {
-		if track == nil {
-			return
-		}
-		publishMetrics(reg, mc, dr, hier, sw, pfDriver, ras, ps, img)
-		track.Sample(phase, idx, now, reg)
-	}
-	// Crash tolerance: checkpoint/restore machinery, armed only when a crash
-	// schedule or a checkpoint cadence is configured. Baseline has no dedup
-	// state to recover (and no convergence phase to crash in).
-	var cs *crashState
-	if (cfg.Crash.Enabled() || cfg.CheckpointEvery > 0) && mode != Baseline {
-		cs = newCrashState(cfg, &crashEnv{
-			mode: mode, img: img, hier: hier, dr: dr, mc: mc,
-			ras: ras, ps: ps, es: es, sc: sc,
-			track: track, ledger: cfg.Ledger,
-		})
-	}
-	if mode != Baseline {
-		var passes int
-		passes, res.DedupGBps, scanner, driver, err = converge(img, scanner, driver, dr, cfg, ras, ps, es, cs, sc, &clock, verify, sample)
-		if err != nil {
-			return nil, nil, err
-		}
-		res.ConvergedPasses = passes
-	}
-	if cs != nil {
-		res.Crash = cs.rep
-	}
-	res.Footprint = img.MeasureFootprint()
-
-	// --- Phase 2: measurement. Run MeasureIntervals work intervals with
-	// application cache traffic and the dedup engine interleaved, recording
-	// bursts, pollution, and demand latency.
-	meas := newMeasurement(img, hier, dr, mc, cfg, app, &clock, reg)
-	meas.pump = pump
-	meas.trace = sc
-	meas.ps = ps
-	meas.ledger = cfg.Ledger
-	meas.sample = func(k int, end uint64) { sample("measure", k, end, scanner) }
-	if ras != nil {
-		// Patrol scrub keeps running through the measurement phase as
-		// background DRAM traffic; the tracker keeps refining the UE-rate
-		// estimate (the engine swap itself only happens during converge).
-		meas.onInterval = func(start uint64) { ras.tick(start, ^uint64(0)) }
-	}
-	var dedupBytesBefore uint64
-	if scanner != nil {
-		dedupBytesBefore = scanner.DRAMBytes
-	} else {
-		dedupBytesBefore = dr.TotalBytes(dram.SrcPageForge)
-	}
-	meas.verify = func(k int) error { return verify("measure", k, scanner, driver) }
-	if err := meas.run(scanner, driver); err != nil {
+	r := NewRuntime(mode, app, cfg)
+	if err := r.Start(); err != nil {
 		return nil, nil, err
 	}
-	meas.fill(res)
-
-	// Steady-state dedup bandwidth over the whole measurement phase
-	// (including warm-up intervals: the engine works identically in both).
-	var dedupBytes uint64
-	if scanner != nil {
-		dedupBytes = scanner.DRAMBytes - dedupBytesBefore
-	} else if driver != nil {
-		dedupBytes = dr.TotalBytes(dram.SrcPageForge) - dedupBytesBefore
+	res, err := r.Drain()
+	if err != nil {
+		return nil, nil, err
 	}
-	phaseSeconds := float64(meas.totalIntervals()) * cfg.SleepMillis / 1e3
-	if phaseSeconds > 0 {
-		res.SteadyDedupGBps = float64(dedupBytes) / 1e9 / phaseSeconds * fullScaleDepthFactor
-	}
-
-	// Application DRAM demand: the profile's baseline bandwidth scaled by
-	// the measured miss-rate inflation (pollution makes the cores fetch
-	// more lines from memory).
-	res.DemandGBps = app.DemandGBps
-	if app.BaselineL3Miss > 0 && res.L3MissRate > 0 {
-		res.DemandGBps = app.DemandGBps * res.L3MissRate / app.BaselineL3Miss
-	}
-	res.TotalGBps = res.DemandGBps + res.DedupGBps
-
-	if scanner != nil {
-		res.Stats = scanner.Alg.Stats
-		res.KSMBreakdown = scanner.Cycles
-	}
-	if pfDriver != nil {
-		res.Stats = pfDriver.Alg.Stats
-		res.PFBatchMean = pfDriver.HW.BatchCycles.Mean()
-		res.PFBatchStd = pfDriver.HW.BatchCycles.Stddev()
-		res.PFBatches = pfDriver.Batches
-		res.PFLinesFetched = pfDriver.HW.LinesFetched
-		res.PFNetworkHits = mc.Stats.PFNetworkHits
-		res.PFDriverCycles = pfDriver.CoreCycles
-		res.PFLineRetries = pfDriver.HW.LineRetries
-		res.PFRetriesHealed = pfDriver.HW.RetriesHealed
-		res.PFFaultAborts = pfDriver.HW.FaultAborts
-		res.SWFallbacks = pfDriver.SWFallbacks
-		res.QuarantinedFrames = pfDriver.QuarantinedFrames()
-	}
-	res.Degraded = es.degradedAtPass >= 0 && es.repromotedAtPass < 0
-	res.DegradedAtPass = es.degradedAtPass
-	res.RepromotedAtPass = es.repromotedAtPass
-	if ras != nil {
-		res.UERate = ras.tracker.Rate()
-		res.ECCCorrected = mc.Stats.ECCCorrected
-		res.ECCUncorrectable = mc.Stats.ECCUncorrectable
-		res.ScrubLines = ras.scrub.Stats.Lines
-		res.ScrubCorrected = ras.scrub.Stats.Corrected
-		res.ScrubUEs = ras.scrub.Stats.Uncorrectable
-	}
-
-	if ps != nil {
-		res.Pressure = ps.finalize()
-	}
-
-	publishMetrics(reg, mc, dr, hier, scanner, pfDriver, ras, ps, img)
-	res.Metrics = reg.Snapshot()
-	return res, dr, nil
+	return res, r.dr, nil
 }
 
 // engineState tracks which engine is live across the demote/re-promote
@@ -647,201 +395,6 @@ func memQueueFactor(app tailbench.Profile, r *Result, cfg Config) float64 {
 		u = 0.85
 	}
 	return 1 / (1 - u)
-}
-
-// converge runs full passes with inter-pass churn until merges settle, and
-// measures the dedup engine's DRAM bandwidth during this mass-merging
-// phase: bytes streamed per pages_to_scan batch, over the 5ms interval
-// that batch occupies in deployment. Each pass ends with a patrol-scrub
-// slice, a degradation-tracker observation, and (when the pressure layer
-// is armed) a watermark/ladder observation window. The RAS trip and the
-// ladder's fallback rung both demote the PageForge driver to a software
-// KSM scanner over the same algorithm state; when both signals clear, the
-// retained hardware driver is re-promoted. The (possibly swapped) engines
-// are returned to the caller.
-func converge(img *tailbench.Image, scanner *ksm.Scanner, driver *pageforge.Driver,
-	dr *dram.DRAM, cfg Config, ras *rasState, ps *pressureState, es *engineState,
-	cs *crashState, sc obs.Scope, clk *uint64,
-	verify func(string, int, *ksm.Scanner, *pageforge.Driver) error,
-	sample func(string, int, uint64, *ksm.Scanner)) (int, float64, *ksm.Scanner, *pageforge.Driver, error) {
-
-	var alg *ksm.Algorithm
-	if scanner != nil {
-		alg = scanner.Alg
-	} else {
-		alg = driver.Alg
-	}
-	// hwDriver retains the hardware engine across a demotion so a recovered
-	// ladder can re-promote it; fallback is the software scanner standing in
-	// for it, created once and reused across demote/re-promote cycles.
-	hwDriver := driver
-	var fallback *ksm.Scanner
-	var now uint64
-	var candidates uint64
-	prevFrames := -1
-	passes := cfg.ConvergePasses
-	makeFallback := func() *ksm.Scanner {
-		f := ksm.NewScanner(hwDriver.Alg, cfg.KSMCosts)
-		f.Trace = sc
-		f.TraceNow = func() uint64 { return *clk }
-		return f
-	}
-	if cs != nil {
-		// Bind the crash machinery to this loop's locals (restores rewind
-		// them in place) and capture the boot checkpoint: recovery always has
-		// at least the pre-pass world to fall back to.
-		env := cs.env
-		env.alg = alg
-		env.hwDriver = hwDriver
-		env.ksmScanner = scanner
-		env.scanner, env.driver, env.fallback = &scanner, &driver, &fallback
-		env.makeFallback = makeFallback
-		env.now, env.clk, env.candidates, env.prevFrames = &now, clk, &candidates, &prevFrames
-		if err := cs.checkpoint(-1); err != nil {
-			return 0, 0, scanner, driver, err
-		}
-	}
-	for p := 0; p < cfg.ConvergePasses; p++ {
-		cfg.Ledger.SetPass(p)
-		if ps != nil {
-			if err := ps.beginPass(p, now); err != nil {
-				return p + 1, 0, scanner, driver, err
-			}
-		}
-		pages := alg.MergeablePages()
-		switch {
-		case ps != nil && ps.paused():
-			// ScanPaused rung: the engine is shut off entirely this pass;
-			// churn and the observation windows keep running so the ladder
-			// can see recovery and step back up. The ledger records the whole
-			// shed pass as one wasted-work event carrying the page budget the
-			// backpressure threw away.
-			ps.rep.PausedPasses++
-			cfg.Ledger.Append(obs.LedgerEvent{Kind: obs.LKShed, Cause: obs.CauseBackpressureShed,
-				VM: -1, PFN: obs.LedgerNoPFN, Arg: uint64(pages)})
-		case scanner != nil:
-			workers := cfg.ShardWorkers
-			if ps != nil {
-				workers = ps.ctl.ScanWorkers(workers)
-			}
-			if workers > 0 {
-				res := scanner.ScanPass(workers)
-				candidates += uint64(res.Scanned)
-			} else {
-				for i := 0; i < pages; i++ {
-					scanner.ScanOne()
-					candidates++
-				}
-			}
-		default:
-			for i := 0; i < pages; i++ {
-				_, t, ok := driver.ScanOne(now)
-				if !ok {
-					break
-				}
-				now = t
-				candidates++
-			}
-		}
-		if ras != nil {
-			now = ras.tick(now, uint64(p))
-		}
-		if ps != nil {
-			now += ps.takeStallTicks()
-			ps.observe(p, now)
-		}
-		// Unified engine selection: either health signal demotes the
-		// hardware driver to software KSM on the same algorithm state (the
-		// software path reads through the cache hierarchy, not the poisoned
-		// ECC fetch pipe, and costs core cycles the throttled rungs are
-		// willing to pay); both clearing re-promotes the retained driver.
-		wantSW := (ras != nil && ras.tracker.Degraded()) ||
-			(ps != nil && ps.ladder.State() >= pressure.KSMFallback) ||
-			(cs != nil && cs.forcedSW)
-		switch {
-		case wantSW && driver != nil:
-			if fallback == nil {
-				fallback = makeFallback()
-			}
-			scanner = fallback
-			driver = nil
-			if es.degradedAtPass < 0 {
-				es.degradedAtPass = p
-			}
-			es.repromotedAtPass = -1
-			sc.Instant(obs.TIDRAS, "ras", "degrade_trip", now, "pass", uint64(p))
-		case !wantSW && driver == nil && hwDriver != nil && es.degradedAtPass >= 0:
-			driver = hwDriver
-			scanner = nil
-			es.repromotedAtPass = p
-			sc.Instant(obs.TIDRAS, "ras", "repromote", now, "pass", uint64(p))
-		}
-		if err := img.ChurnVolatile(); err != nil {
-			return p + 1, 0, scanner, driver, fmt.Errorf("platform: churn at pass %d: %w", p, err)
-		}
-		if ps != nil {
-			now += ps.takeStallTicks()
-		}
-		// Expose the pass clock to untimed components (the software
-		// scanner's merge events) regardless of tracing — keeping the
-		// update unconditional is what makes traced and untraced runs
-		// bit-identical. Nothing in the simulation reads it back here.
-		*clk = now
-		if err := verify("converge", p, scanner, driver); err != nil {
-			return p + 1, 0, scanner, driver, err
-		}
-		frames := img.HV.Phys.AllocatedFrames()
-		sc.Instant(obs.TIDPlatform, "interval", "pass", now, "frames", uint64(frames))
-		converged := frames == prevFrames && p >= 2 && (ps == nil || ps.quiescent(p))
-		prevFrames = frames
-		// Sample the series at the pass boundary, before the checkpoint: the
-		// track's ring is part of the checkpointed world, so a replayed pass
-		// re-takes exactly the samples the crash destroyed. The software
-		// engine handle falls back to the retained fallback scanner so its
-		// cycle counters stay published across re-promotions.
-		sw := scanner
-		if sw == nil {
-			sw = fallback
-		}
-		sample("converge", p, now, sw)
-		// Close the pass boundary: periodic checkpoint, then the crash plan.
-		// A restore rewinds every loop local (including prevFrames and the
-		// convergence verdict baked into it) to the checkpointed pass; the
-		// loop replays from there and re-reaches this boundary identically.
-		if cs != nil {
-			resume, restored, err := cs.boundary(p)
-			if err != nil {
-				return p + 1, 0, scanner, driver, err
-			}
-			if restored && resume != p {
-				p = resume
-				continue
-			}
-			// resume == p means the crash restored the checkpoint captured
-			// at this very boundary: the restored world is bit-identical to
-			// the state the convergence verdict below was computed from, so
-			// fall through rather than replaying a zero-pass window (which
-			// would skip the verdict and converge one pass late).
-		}
-		if converged {
-			passes = p + 1
-			break
-		}
-	}
-
-	// A degraded run streamed bytes through both engines; the PageForge
-	// side's DRAM volume and the software scanner's add.
-	bytes := dr.TotalBytes(dram.SrcPageForge)
-	if scanner != nil {
-		bytes += scanner.DRAMBytes
-	}
-	gbps := 0.0
-	if candidates > 0 {
-		intervals := float64(candidates) / float64(cfg.PagesToScan)
-		seconds := intervals * cfg.SleepMillis / 1e3
-		gbps = float64(bytes) / 1e9 / seconds * fullScaleDepthFactor
-	}
-	return passes, gbps, scanner, driver, nil
 }
 
 // RunDebug is Run plus the DRAM statistics snapshot (calibration tooling).

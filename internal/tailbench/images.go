@@ -32,6 +32,16 @@ type Image struct {
 	// churn RNG, so enabling a storm does not perturb churn determinism.
 	burstUsed int
 	burstRNG  *sim.RNG
+
+	// Build-time content-pool parameters, retained so VMs spawned mid-run
+	// share the fleet's "library" contents: salt is the image-specific
+	// content salt, dupDistinct the distinct duplicated-content pool size,
+	// and spawned counts SpawnVM calls (it salts each spawn's unique
+	// region). All three are derivable from (Profile, numVMs, seed), so a
+	// checkpoint only needs the spawn counter.
+	salt        uint64
+	dupDistinct int
+	spawned     int
 }
 
 // BuildImage deploys numVMs copies of the application and fills guest
@@ -71,6 +81,7 @@ func BuildImage(p Profile, numVMs int, physFrames int, seed uint64) (*Image, err
 	// Image-specific salt: two deployments with different seeds must not
 	// share any content (their "library" pages are different builds).
 	salt := (seed + 1) * 0x9E3779B97F4A7C15
+	img.salt, img.dupDistinct = salt, distinct
 	// Duplicated region: gfns [0, dupPerVM).
 	for slot := 0; slot < dupPerVM; slot++ {
 		for i, v := range img.VMs {
@@ -181,6 +192,140 @@ func (img *Image) ChurnVolatile() error {
 	}
 	return nil
 }
+
+// SpawnVM adds one more VM running the same application image to the live
+// deployment — a sandbox spinning up mid-run. Its memory composition
+// mirrors BuildImage's: the duplicated region draws from the fleet's
+// existing distinct-content pool (offset by the spawn ordinal so copies
+// spread across contents), the zero region is written as explicit zeros,
+// and the unique region gets fresh contents on a spawn-salted stream. Every
+// page is created through Write — never Touch — so the hypervisor's
+// write-observer seam sees all of it and an attached verifier's shadow
+// model learns the new VM's contents (boot-time pages are snapshotted at
+// BeginRun instead; a spawned VM has no such moment). All pages are
+// madvised mergeable. The caller owns refreshing any dedup engine's scan
+// order afterwards.
+func (img *Image) SpawnVM() (*vm.VM, error) {
+	p := img.Profile
+	dupPerVM := int(p.DupFrac * float64(p.PagesPerVM))
+	zeroPerVM := int(p.ZeroFrac * float64(p.PagesPerVM))
+	uniqPerVM := p.PagesPerVM - dupPerVM - zeroPerVM
+
+	v := img.HV.NewVM(uint64(p.PagesPerVM+p.BurstPagesPerVM) * mem.PageSize)
+	v.Madvise(0, p.PagesPerVM+p.BurstPagesPerVM, true)
+	img.spawned++
+
+	page := make([]byte, mem.PageSize)
+	for slot := 0; slot < dupPerVM; slot++ {
+		contentID := (slot + img.spawned) % max(1, img.dupDistinct)
+		fillPage(page, uint64(contentID)*2654435761+img.salt)
+		if _, err := v.Write(vm.GFN(slot), 0, page); err != nil {
+			return nil, fmt.Errorf("tailbench: spawn dup page: %w", err)
+		}
+		img.DupPages = append(img.DupPages, vm.PageID{VM: v.ID, GFN: vm.GFN(slot)})
+	}
+	for i := range page {
+		page[i] = 0
+	}
+	for z := 0; z < zeroPerVM; z++ {
+		g := vm.GFN(dupPerVM + z)
+		if _, err := v.Write(g, 0, page); err != nil {
+			return nil, fmt.Errorf("tailbench: spawn zero page: %w", err)
+		}
+		img.ZeroPages = append(img.ZeroPages, vm.PageID{VM: v.ID, GFN: g})
+	}
+	next := img.salt ^ 0xF00D ^ (uint64(img.spawned) * 0x517CC1B727220A95)
+	for u := 0; u < uniqPerVM; u++ {
+		g := vm.GFN(dupPerVM + zeroPerVM + u)
+		next++
+		fillPage(page, next*0x9E3779B97F4A7C15+7)
+		if _, err := v.Write(g, 0, page); err != nil {
+			return nil, fmt.Errorf("tailbench: spawn unique page: %w", err)
+		}
+		id := vm.PageID{VM: v.ID, GFN: g}
+		img.UniquePages = append(img.UniquePages, id)
+		if float64(u) < p.VolatileFrac*float64(uniqPerVM) {
+			img.Volatile = append(img.Volatile, id)
+		}
+	}
+	img.VMs = append(img.VMs, v)
+	return v, nil
+}
+
+// KillVM tears down one live VM mid-run — its sandbox exits. Every present
+// page (resident image and burst region alike) is released in GFN order,
+// the whole guest range is madvised unmergeable so no dedup engine keeps it
+// as a scan candidate, and the VM leaves the live list and every tracking
+// list. The hypervisor keeps the VM object so IDs of later spawns stay
+// stable; the freed frames leave the dedup index's stable/unstable trees at
+// the next pass-end prune. The caller owns refreshing any dedup engine's
+// scan order afterwards.
+func (img *Image) KillVM(id int) error {
+	idx := -1
+	for i, v := range img.VMs {
+		if v.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("tailbench: kill: VM %d is not live", id)
+	}
+	v := img.VMs[idx]
+	for g := vm.GFN(0); int(g) < v.Pages(); g++ {
+		if v.Present(g) {
+			v.Release(g)
+		}
+	}
+	v.Madvise(0, v.Pages(), false)
+	img.VMs = append(img.VMs[:idx], img.VMs[idx+1:]...)
+	filter := func(ids []vm.PageID) []vm.PageID {
+		out := ids[:0]
+		for _, pid := range ids {
+			if pid.VM != id {
+				out = append(out, pid)
+			}
+		}
+		return out
+	}
+	img.Volatile = filter(img.Volatile)
+	img.DupPages = filter(img.DupPages)
+	img.ZeroPages = filter(img.ZeroPages)
+	img.UniquePages = filter(img.UniquePages)
+	return nil
+}
+
+// PhaseShift models an application phase change: the working set moves.
+// frac of the unique region (a contiguous window starting at an RNG-drawn
+// offset) is rewritten with fresh contents — breaking any merges those
+// pages were in — and the volatile set rotates onto the rewritten window,
+// so churn follows the new hot set. Contents draw from the image's churn
+// RNG stream, which the checkpoint machinery captures, so replayed phase
+// shifts are bit-exact.
+func (img *Image) PhaseShift(frac float64) error {
+	n := int(frac * float64(len(img.UniquePages)))
+	if n <= 0 {
+		return nil
+	}
+	if n > len(img.UniquePages) {
+		n = len(img.UniquePages)
+	}
+	start := img.rng.Intn(len(img.UniquePages))
+	buf := make([]byte, mem.PageSize)
+	img.Volatile = img.Volatile[:0]
+	for i := 0; i < n; i++ {
+		id := img.UniquePages[(start+i)%len(img.UniquePages)]
+		fillPage(buf, img.rng.Uint64())
+		if _, err := img.HV.VM(id.VM).Write(id.GFN, 0, buf); err != nil {
+			return fmt.Errorf("tailbench: phase shift page %v: %w", id, err)
+		}
+		img.Volatile = append(img.Volatile, id)
+	}
+	return nil
+}
+
+// LiveVMs reports how many VMs are currently live (spawns minus kills).
+func (img *Image) LiveVMs() int { return len(img.VMs) }
 
 // BurstWrite models one window of an allocation burst: every VM writes n
 // fresh pages into its burst region (above the resident image), faulting in

@@ -1,30 +1,68 @@
 package tailbench
 
+import "repro/internal/vm"
+
 // Checkpoint support. The image's own state beyond the hypervisor (captured
-// separately) is two RNG streams and the burst-region cursor: churn draws,
-// burst contents, and burst occupancy must resume exactly where the
-// checkpoint left them or post-restore writes diverge from the
-// uninterrupted run.
+// separately) is its RNG streams, the burst-region cursor, and — once live
+// workload events can reshape the deployment mid-run — the live topology:
+// which VMs are alive, how many were spawned, and the page-tracking lists
+// (volatile/dup/zero/unique membership) that churn, footprint accounting,
+// and phase shifts iterate. All of it must resume exactly where the
+// checkpoint left it or post-restore writes diverge from the uninterrupted
+// run.
 
 // ImageState is the serialized image of an Image's mutable state.
 type ImageState struct {
 	RNG       uint64
 	BurstRNG  uint64
 	BurstUsed int
+
+	// Live topology (changed only by SpawnVM/KillVM/PhaseShift; for a
+	// static deployment these round-trip the build-time values). LiveVMs
+	// holds hypervisor VM IDs — a kill removes a VM from the middle of the
+	// live list while the hypervisor keeps the object for ID stability, so
+	// membership is identity, not position.
+	LiveVMs []int
+	Spawned int
+
+	Volatile    []vm.PageID
+	DupPages    []vm.PageID
+	ZeroPages   []vm.PageID
+	UniquePages []vm.PageID
 }
 
-// State captures the image's RNG streams and burst cursor.
+// State captures the image's RNG streams, burst cursor, and live topology.
 func (img *Image) State() ImageState {
-	return ImageState{
-		RNG:       img.rng.State(),
-		BurstRNG:  img.burstRNG.State(),
-		BurstUsed: img.burstUsed,
+	st := ImageState{
+		RNG:         img.rng.State(),
+		BurstRNG:    img.burstRNG.State(),
+		BurstUsed:   img.burstUsed,
+		Spawned:     img.spawned,
+		Volatile:    append([]vm.PageID(nil), img.Volatile...),
+		DupPages:    append([]vm.PageID(nil), img.DupPages...),
+		ZeroPages:   append([]vm.PageID(nil), img.ZeroPages...),
+		UniquePages: append([]vm.PageID(nil), img.UniquePages...),
 	}
+	for _, v := range img.VMs {
+		st.LiveVMs = append(st.LiveVMs, v.ID)
+	}
+	return st
 }
 
-// SetState restores the image's RNG streams and burst cursor.
+// SetState restores the image's RNG streams, burst cursor, and live
+// topology. The hypervisor must already be restored (the platform restores
+// Phys → HV → Img in that order), so every ID in LiveVMs resolves.
 func (img *Image) SetState(st ImageState) {
 	img.rng.SetState(st.RNG)
 	img.burstRNG.SetState(st.BurstRNG)
 	img.burstUsed = st.BurstUsed
+	img.spawned = st.Spawned
+	img.VMs = img.VMs[:0]
+	for _, id := range st.LiveVMs {
+		img.VMs = append(img.VMs, img.HV.VM(id))
+	}
+	img.Volatile = append(img.Volatile[:0], st.Volatile...)
+	img.DupPages = append(img.DupPages[:0], st.DupPages...)
+	img.ZeroPages = append(img.ZeroPages[:0], st.ZeroPages...)
+	img.UniquePages = append(img.UniquePages[:0], st.UniquePages...)
 }

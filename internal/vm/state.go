@@ -83,13 +83,22 @@ func (h *Hypervisor) State() HypervisorState {
 	return st
 }
 
-// SetState restores a previously captured image in place. VM count and
-// per-VM table sizes must match the live machine (deployment shape is
-// configuration, not state). The OnWrite/OnRelease/Reclaim hooks are left
-// untouched — the restorer owns their wiring.
+// SetState restores a previously captured image in place. Per-VM table
+// sizes must match for VMs that exist on both sides (a VM's guest size is
+// configuration, not state), but the VM *count* may differ: live workload
+// events spawn and the snapshot machinery restores across them. A snapshot
+// with fewer VMs truncates the live list (the extra VMs were spawned after
+// the checkpoint; their frames are already gone from the restored arena and
+// rmap); a snapshot with more VMs creates fresh ones sized from their
+// captured tables (restoring a post-spawn world into a fresh runtime). The
+// OnWrite/OnRelease/Reclaim hooks are left untouched — the restorer owns
+// their wiring.
 func (h *Hypervisor) SetState(st HypervisorState) error {
-	if len(st.VMs) != len(h.vms) {
-		return fmt.Errorf("vm: restore VM-count mismatch (have %d, snapshot %d)", len(h.vms), len(st.VMs))
+	if len(st.VMs) < len(h.vms) {
+		h.vms = h.vms[:len(st.VMs)]
+	}
+	for len(h.vms) < len(st.VMs) {
+		h.NewVM(uint64(len(st.VMs[len(h.vms)].Table)) * mem.PageSize)
 	}
 	if len(st.Rmap) != len(h.rmap) {
 		return fmt.Errorf("vm: restore rmap-size mismatch (have %d, snapshot %d)", len(h.rmap), len(st.Rmap))

@@ -37,6 +37,12 @@ func Shrink(sc Scenario, fails func(Scenario) bool, maxProbes int) (Scenario, in
 			func(c *Scenario) { c.Overcommit, c.BurstPages, c.BurstPasses = 0, 0, 0 },
 			func(c *Scenario) { c.CrashPassA, c.CrashPassB, c.CheckpointEvery = 0, 0, 0 },
 			func(c *Scenario) { c.CrashPassB = 0 },
+			func(c *Scenario) {
+				c.SpawnAtPass, c.KillVMAtPass, c.KillVM, c.PhaseFlipAtPass = 0, 0, 0, 0
+			},
+			func(c *Scenario) { c.SpawnAtPass = 0 },
+			func(c *Scenario) { c.KillVMAtPass, c.KillVM = 0, 0 },
+			func(c *Scenario) { c.PhaseFlipAtPass = 0 },
 			func(c *Scenario) { c.VolatileFrac = 0 },
 			func(c *Scenario) { c.ZeroFrac = 0 },
 			func(c *Scenario) { c.MeasureIntervals = 0 },

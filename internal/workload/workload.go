@@ -73,6 +73,15 @@ type Scenario struct {
 	// events and cross-checks the implied final page locations against the
 	// hypervisor's page tables (see check.AuditLedger).
 	LedgerOn bool
+
+	// Live-event schedule (0 = none; passes are 1-based like CrashPassA/B).
+	// The scenario streams these through platform.Config.Events: a VM spawned
+	// mid-run, a live VM killed mid-run, and an application phase flip.
+	// Scalars only, same shrinker-== discipline as the crash shape.
+	SpawnAtPass     int
+	KillVMAtPass    int
+	KillVM          int // victim ID when KillVMAtPass > 0
+	PhaseFlipAtPass int
 }
 
 // Generate draws a random scenario from the given seed. The distribution
@@ -130,6 +139,20 @@ func Generate(seed uint64) Scenario {
 	// The ledger draw comes after the crash block, same append-only
 	// discipline: every earlier field keeps its same-seed value.
 	sc.LedgerOn = rng.Bool(0.5)
+	// Live-event draws come last (append-only discipline again). A spawn
+	// allocates a whole image on the demand path, so pressured scenarios —
+	// whose arena is deliberately undersized — skip it; kills and phase
+	// flips only free or rewrite existing pages and are always safe.
+	if !sc.Pressured() && rng.Bool(0.35) {
+		sc.SpawnAtPass = 1 + rng.Intn(sc.ConvergePasses)
+	}
+	if rng.Bool(0.35) {
+		sc.KillVMAtPass = 1 + rng.Intn(sc.ConvergePasses)
+		sc.KillVM = rng.Intn(sc.VMs)
+	}
+	if rng.Bool(0.35) {
+		sc.PhaseFlipAtPass = 1 + rng.Intn(sc.ConvergePasses)
+	}
 	return sc
 }
 
@@ -142,6 +165,23 @@ func (s Scenario) Pressured() bool { return s.Overcommit > 1 }
 // FaultFree reports whether the scenario injects no DRAM faults, which is
 // the precondition for the differential KSM ≡ PageForge equivalence check.
 func (s Scenario) FaultFree() bool { return s.FaultRate == 0 }
+
+// HasLiveEvents reports whether the scenario schedules mid-run topology or
+// phase events. Such runs change the mergeable population at event-relative
+// times, so their merge sets are not comparable across engines (the
+// differential check is skipped; per-pass invariants still hold, including
+// through VM teardown).
+func (s Scenario) HasLiveEvents() bool {
+	return s.SpawnAtPass > 0 || s.KillVMAtPass > 0 || s.PhaseFlipAtPass > 0
+}
+
+// DiffComparable reports whether the scenario's clean merge sets are
+// comparable across engines — fault-free, unpressured, no live events, and
+// enough passes for the hash gate's deferred first sighting to converge.
+// This is the precondition for the KSM ≡ PageForge differential check.
+func (s Scenario) DiffComparable() bool {
+	return s.FaultFree() && !s.Pressured() && !s.HasLiveEvents() && s.ConvergePasses >= 2
+}
 
 // Profile renders the scenario as a small TailBench-style application. The
 // service-model numbers are fixed: verification exercises merge semantics,
@@ -213,14 +253,24 @@ func (s Scenario) Config() platform.Config {
 		// (Scenario itself stays plain scalars for the shrinker's ==).
 		cfg.Ledger = obs.NewLedger(0)
 	}
+	if s.SpawnAtPass > 0 {
+		cfg.Events = append(cfg.Events, platform.Event{Pass: s.SpawnAtPass - 1, Kind: platform.EvVMSpawn})
+	}
+	if s.KillVMAtPass > 0 {
+		cfg.Events = append(cfg.Events, platform.Event{Pass: s.KillVMAtPass - 1, Kind: platform.EvVMKill, VM: s.KillVM})
+	}
+	if s.PhaseFlipAtPass > 0 {
+		cfg.Events = append(cfg.Events, platform.Event{Pass: s.PhaseFlipAtPass - 1, Kind: platform.EvPhaseChange, Frac: 0.3})
+	}
 	return cfg
 }
 
 // String renders the scenario compactly for progress and failure reports.
 func (s Scenario) String() string {
-	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d shards=%d workers=%d fault=%.2g overcommit=%.2f burst=%dx%d ckpt=%d crash=%d/%d ledger=%t",
+	return fmt.Sprintf("seed=%#x vms=%d pages=%d dup=%.2f×%.0f zero=%.2f volatile=%.2f passes=%d intervals=%d scan=%d shards=%d workers=%d fault=%.2g overcommit=%.2f burst=%dx%d ckpt=%d crash=%d/%d ledger=%t spawn@%d kill=%d@%d flip@%d",
 		s.Seed, s.VMs, s.PagesPerVM, s.DupFrac, s.DupCopies, s.ZeroFrac,
 		s.VolatileFrac, s.ConvergePasses, s.MeasureIntervals, s.PagesToScan,
 		1<<s.ShardBits, s.ShardWorkers, s.FaultRate, s.Overcommit, s.BurstPages, s.BurstPasses,
-		s.CheckpointEvery, s.CrashPassA, s.CrashPassB, s.LedgerOn)
+		s.CheckpointEvery, s.CrashPassA, s.CrashPassB, s.LedgerOn,
+		s.SpawnAtPass, s.KillVM, s.KillVMAtPass, s.PhaseFlipAtPass)
 }

@@ -1,8 +1,11 @@
 package workload
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/platform"
 )
 
 func TestGenerateDeterministicAndInRange(t *testing.T) {
@@ -73,6 +76,69 @@ func TestGenerateCoversRegimes(t *testing.T) {
 	}
 	if pressured < 20 || pressured > 90 {
 		t.Fatalf("pressure regime coverage skewed: %d/200 pressured", pressured)
+	}
+}
+
+func TestGenerateDrawsLiveEvents(t *testing.T) {
+	var spawns, kills, flips int
+	for seed := uint64(0); seed < 300; seed++ {
+		sc := Generate(seed)
+		if sc.HasLiveEvents() != (sc.SpawnAtPass > 0 || sc.KillVMAtPass > 0 || sc.PhaseFlipAtPass > 0) {
+			t.Fatalf("seed %d: HasLiveEvents inconsistent: %+v", seed, sc)
+		}
+		if sc.SpawnAtPass > 0 {
+			spawns++
+			if sc.Pressured() {
+				t.Fatalf("seed %d: spawn drawn into a pressured scenario (undersized arena): %+v", seed, sc)
+			}
+			if sc.SpawnAtPass > sc.ConvergePasses {
+				t.Fatalf("seed %d: SpawnAtPass %d beyond the run", seed, sc.SpawnAtPass)
+			}
+		}
+		if sc.KillVMAtPass > 0 {
+			kills++
+			if sc.KillVMAtPass > sc.ConvergePasses {
+				t.Fatalf("seed %d: KillVMAtPass %d beyond the run", seed, sc.KillVMAtPass)
+			}
+			if sc.KillVM < 0 || sc.KillVM >= sc.VMs {
+				t.Fatalf("seed %d: KillVM %d is not a built VM", seed, sc.KillVM)
+			}
+		} else if sc.KillVM != 0 {
+			t.Fatalf("seed %d: victim drawn without a kill: %+v", seed, sc)
+		}
+		if sc.PhaseFlipAtPass > 0 {
+			flips++
+			if sc.PhaseFlipAtPass > sc.ConvergePasses {
+				t.Fatalf("seed %d: PhaseFlipAtPass %d beyond the run", seed, sc.PhaseFlipAtPass)
+			}
+		}
+	}
+	if spawns < 30 || spawns > 180 {
+		t.Fatalf("spawn regime coverage skewed: %d/300", spawns)
+	}
+	if kills < 50 || kills > 180 {
+		t.Fatalf("kill regime coverage skewed: %d/300", kills)
+	}
+	if flips < 50 || flips > 180 {
+		t.Fatalf("phase-flip regime coverage skewed: %d/300", flips)
+	}
+}
+
+func TestScenarioConfigRendersEvents(t *testing.T) {
+	sc := Generate(3)
+	sc.Overcommit, sc.BurstPages, sc.BurstPasses = 0, 0, 0
+	sc.SpawnAtPass, sc.KillVMAtPass, sc.KillVM, sc.PhaseFlipAtPass = 2, 3, 1, 4
+	want := []platform.Event{
+		{Pass: 1, Kind: platform.EvVMSpawn},
+		{Pass: 2, Kind: platform.EvVMKill, VM: 1},
+		{Pass: 3, Kind: platform.EvPhaseChange, Frac: 0.3},
+	}
+	if got := sc.Config().Events; !reflect.DeepEqual(got, want) {
+		t.Fatalf("events not rendered: got %+v want %+v", got, want)
+	}
+	sc.SpawnAtPass, sc.KillVMAtPass, sc.KillVM, sc.PhaseFlipAtPass = 0, 0, 0, 0
+	if got := sc.Config().Events; len(got) != 0 {
+		t.Fatalf("event-free scenario rendered events: %+v", got)
 	}
 }
 
@@ -158,6 +224,17 @@ func TestShrinkReducesPressureStorm(t *testing.T) {
 	if shrunk.BurstPages != 0 || shrunk.BurstPasses != 0 {
 		t.Fatalf("burst shape not minimized: %dx%d (%d probes)",
 			shrunk.BurstPages, shrunk.BurstPasses, probes)
+	}
+}
+
+// TestShrinkRemovesLiveEvents pins the live-event moves: when the failure
+// does not depend on the event schedule, the shrinker strips it.
+func TestShrinkRemovesLiveEvents(t *testing.T) {
+	sc := Generate(11)
+	sc.SpawnAtPass, sc.KillVMAtPass, sc.KillVM, sc.PhaseFlipAtPass = 1, 2, 1, 3
+	shrunk, probes := Shrink(sc, func(s Scenario) bool { return s.VMs >= 2 }, 200)
+	if shrunk.HasLiveEvents() || shrunk.KillVM != 0 {
+		t.Fatalf("live events not removed: %+v (%d probes)", shrunk, probes)
 	}
 }
 

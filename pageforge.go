@@ -83,6 +83,35 @@ func Run(mode Mode, app Profile, cfg Config) (*Result, error) {
 	return platform.Run(mode, app, cfg)
 }
 
+// Runtime is the tick-driven streaming form of Run: Start, then Step one
+// convergence pass or measurement interval at a time, Injecting live events
+// (VM spawns and kills, phase flips, host crashes) between ticks. Drain is
+// batch completion; Run itself is a thin driver over this loop, so a
+// streamed run with the same event schedule is bit-identical to batch.
+type Runtime = platform.Runtime
+
+// NewRuntime builds a streaming runtime over one (mode, application) world.
+func NewRuntime(mode Mode, app Profile, cfg Config) *Runtime {
+	return platform.NewRuntime(mode, app, cfg)
+}
+
+// Event is one live perturbation, scheduled via Config.Events or delivered
+// mid-run with Runtime.Inject.
+type Event = platform.Event
+
+// EventKind discriminates live events.
+type EventKind = platform.EventKind
+
+// The live-event kinds.
+const (
+	EvVMSpawn      = platform.EvVMSpawn      // spawn one VM mid-run
+	EvVMKill       = platform.EvVMKill       // tear down VM (field VM)
+	EvPhaseChange  = platform.EvPhaseChange  // rewrite a fraction of pages (field Frac)
+	EvBalloonStorm = platform.EvBalloonStorm // balloon burst window (Pages, Passes)
+	EvFaultStorm   = platform.EvFaultStorm   // fault-rate boost window (Boost, Passes)
+	EvCrash        = platform.EvCrash        // host crash at this pass boundary
+)
+
 // Latency runs the sojourn-latency phase (Figures 9 and 10) for a measured
 // system against its Baseline reference.
 func Latency(app Profile, base, system *Result, cfg Config, minQueries int, seed uint64) LatencyResult {
@@ -407,6 +436,23 @@ func DefaultCrashPasses() []int { return experiments.DefaultCrashPasses() }
 
 // DefaultCheckpointIntervals spans boot-only through every-pass cadence.
 func DefaultCheckpointIntervals() []int { return experiments.DefaultCheckpointIntervals() }
+
+// StreamExperiment runs the batch ≡ streaming equivalence sweep: every
+// world shape (both engines, the sharded index, a crash-with-recovery
+// world) runs once through batch Run with a config-scheduled live-event
+// stream and once through a manually stepped Runtime with the same events
+// Injected live — asserting Result, per-pass series points, and
+// provenance-ledger event streams are all deeply equal.
+func StreamExperiment(s *Suite) (*experiments.StreamResult, error) {
+	return experiments.Stream(s)
+}
+
+// RunStreamBench times the tick-driven streaming runtime against batch Run
+// on an identical world — the overhead and bit-identity gate `pageforge
+// perfcheck` enforces.
+func RunStreamBench(seed uint64) (experiments.StreamBenchResult, error) {
+	return experiments.RunStreamBench(seed)
+}
 
 // EfficiencyExperiment runs the scan-efficiency attribution sweep: every
 // (engine, app) point runs with the provenance ledger and per-pass series
